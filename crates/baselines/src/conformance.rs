@@ -1,0 +1,145 @@
+//! Cross-protocol conformance tests: every controller must uphold the
+//! transport's assumptions regardless of event ordering.
+
+use crate::{Cubic, NewReno, Sprout, Vegas};
+use verus_nettypes::{
+    AckEvent, CongestionControl, LossEvent, LossKind, SimDuration, SimTime,
+};
+
+fn controllers() -> Vec<Box<dyn CongestionControl>> {
+    vec![
+        Box::new(NewReno::new()),
+        Box::new(Cubic::new()),
+        Box::new(Vegas::new()),
+        Box::new(Sprout::default()),
+    ]
+}
+
+/// Drive a controller through a pseudo-random but deterministic storm of
+/// events and check the invariants after every step.
+fn storm(cc: &mut dyn CongestionControl, seed: u64) {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut seq = 0u64;
+    for step in 0..5_000u64 {
+        let now = SimTime::from_micros(step * 500);
+        match next() % 10 {
+            0..=4 => {
+                let rtt = SimDuration::from_millis(10 + next() % 300);
+                cc.on_ack(
+                    now,
+                    &AckEvent {
+                        seq: next() % (seq + 1),
+                        bytes: 1400,
+                        rtt,
+                        delay: rtt / 2,
+                        send_window: (next() % 100) as f64,
+                    },
+                );
+            }
+            5..=7 => {
+                seq += 1;
+                cc.on_packet_sent(now, seq, 1400);
+            }
+            8 => {
+                let kind = if next() % 4 == 0 {
+                    LossKind::Timeout
+                } else {
+                    LossKind::FastRetransmit
+                };
+                cc.on_loss(
+                    now,
+                    &LossEvent {
+                        seq: next() % (seq + 1),
+                        send_window: (next() % 100) as f64,
+                        kind,
+                    },
+                );
+            }
+            _ => {
+                if cc.tick_interval().is_some() {
+                    cc.on_tick(now);
+                }
+            }
+        }
+        let w = cc.window();
+        assert!(w.is_finite() && w >= 0.0, "{}: window {w} at step {step}", cc.name());
+        let q = cc.quota(now, (next() % 200) as usize);
+        assert!(q < 1_000_000, "{}: quota {q} exploded at step {step}", cc.name());
+    }
+}
+
+#[test]
+fn all_controllers_survive_event_storms() {
+    for mut cc in controllers() {
+        for seed in 1..=5 {
+            storm(cc.as_mut(), seed);
+        }
+    }
+}
+
+#[test]
+fn all_controllers_reduce_on_timeout() {
+    for mut cc in controllers() {
+        // Grow the window first.
+        for s in 0..2000u64 {
+            let now = SimTime::from_micros(s * 100);
+            cc.on_packet_sent(now, s, 1400);
+            cc.on_ack(
+                now,
+                &AckEvent {
+                    seq: s,
+                    bytes: 1400,
+                    rtt: SimDuration::from_millis(40),
+                    delay: SimDuration::from_millis(20),
+                    send_window: 10.0,
+                },
+            );
+            if cc.tick_interval().is_some() && s % 40 == 0 {
+                cc.on_tick(now);
+            }
+        }
+        let before = cc.window();
+        cc.on_loss(
+            SimTime::from_secs(1),
+            &LossEvent {
+                seq: 2000,
+                send_window: before,
+                kind: LossKind::Timeout,
+            },
+        );
+        assert!(
+            cc.window() < before,
+            "{}: timeout did not reduce window ({before} → {})",
+            cc.name(),
+            cc.window()
+        );
+    }
+}
+
+#[test]
+fn quota_never_exceeds_window_for_window_based_controllers() {
+    for mut cc in controllers() {
+        let now = SimTime::ZERO;
+        for in_flight in [0usize, 1, 5, 50, 500] {
+            let q = cc.quota(now, in_flight);
+            assert!(
+                (q + in_flight) as f64 <= cc.window().max(in_flight as f64) + 1.0,
+                "{}: quota {q} with {in_flight} in flight vs window {}",
+                cc.name(),
+                cc.window()
+            );
+        }
+    }
+}
+
+#[test]
+fn names_are_unique_and_stable() {
+    let names: Vec<&str> = controllers().iter().map(|c| c.name()).collect();
+    assert_eq!(names, vec!["newreno", "cubic", "vegas", "sprout"]);
+}

@@ -1,0 +1,37 @@
+//! Baseline congestion-control algorithms the paper compares Verus against.
+//!
+//! §6 evaluates Verus against TCP Cubic (Linux 3.16's default), TCP
+//! NewReno (Windows 7's default), TCP Vegas (the classic delay-based
+//! control Verus draws inspiration from) and Sprout (the state-of-the-art
+//! cellular protocol at the time). The authors used kernel stacks and
+//! Winstein et al.'s Sprout binary; here each algorithm is implemented
+//! from scratch against the shared
+//! [`CongestionControl`](verus_nettypes::CongestionControl) trait so all
+//! five protocols (including Verus itself) run on identical transport,
+//! loss-detection and retransmission machinery — the comparison isolates
+//! the *control law*, which is what the paper's figures are about.
+//!
+//! * [`newreno`] — RFC 5681/6582 slow start, AIMD congestion avoidance and
+//!   NewReno fast recovery;
+//! * [`cubic`] — Ha, Rhee & Xu's CUBIC window curve with TCP-friendly
+//!   region and fast convergence;
+//! * [`vegas`] — Brakmo & Peterson's delay-based additive control;
+//! * [`sprout`] — Winstein, Sivaraman & Balakrishnan's stochastic-forecast
+//!   control (the "sendonly" variant the paper compares against, including
+//!   its 18 Mbit/s implementation cap that Figure 11a hinges on).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cubic;
+pub mod newreno;
+pub mod sprout;
+pub mod vegas;
+
+pub use cubic::Cubic;
+pub use newreno::NewReno;
+pub use sprout::Sprout;
+pub use vegas::Vegas;
+
+#[cfg(test)]
+mod conformance;

@@ -1,0 +1,117 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * `ablation_spline` — natural vs monotone cubic for the delay profile
+//!   (fit cost and the protocol-level outcome difference is reported by
+//!   the accompanying measurement below);
+//! * `ablation_freeze` — profile frozen vs updated during loss recovery;
+//! * `ablation_dmin_window` — the sliding-Dmin horizon.
+//!
+//! Criterion measures the *time* of a fixed simulated scenario per
+//! variant; the variants' throughput/delay outcomes are printed once at
+//! startup so the ablation's protocol effect is visible in the bench log.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use verus_bench::CellExperiment;
+use verus_cellular::{OperatorModel, Scenario};
+use verus_core::{SplineKind, VerusCc, VerusConfig};
+use verus_netsim::{FlowConfig, SimConfig, Simulation};
+use verus_netsim::queue::QueueConfig;
+use verus_netsim::BottleneckConfig;
+use verus_nettypes::SimDuration;
+
+fn run_variant(config: VerusConfig, secs: u64) -> (f64, f64) {
+    let trace = Scenario::CampusPedestrian
+        .generate_trace(OperatorModel::Etisalat3G, SimDuration::from_secs(30), 4242)
+        .unwrap();
+    let sim = SimConfig {
+        bottleneck: BottleneckConfig::Cell {
+            trace,
+            base_rtt: SimDuration::from_millis(40),
+            loss: 0.002,
+        },
+        queue: QueueConfig::deep_droptail(),
+        flows: vec![FlowConfig::new(Box::new(VerusCc::new(config)))],
+        duration: SimDuration::from_secs(secs),
+        seed: 4243,
+        throughput_window: SimDuration::from_secs(1),
+    };
+    let r = Simulation::new(sim).unwrap().run().remove(0);
+    (r.mean_throughput_mbps(), r.mean_delay_ms())
+}
+
+fn report(label: &str, config: VerusConfig) {
+    let (t, d) = run_variant(config, 30);
+    eprintln!("[ablation outcome] {label}: {t:.2} Mbit/s @ {d:.0} ms");
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    // Outcome report (once).
+    report("spline=natural (default)", VerusConfig::default());
+    report(
+        "spline=monotone",
+        VerusConfig {
+            spline: SplineKind::Monotone,
+            ..VerusConfig::default()
+        },
+    );
+    report(
+        "freeze_in_recovery=false",
+        VerusConfig {
+            freeze_profile_in_recovery: false,
+            ..VerusConfig::default()
+        },
+    );
+    report(
+        "dmin_window=forever (paper-literal)",
+        VerusConfig {
+            dmin_window: SimDuration::MAX,
+            ..VerusConfig::default()
+        },
+    );
+
+    // Timing comparisons.
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (name, config) in [
+        ("natural_spline", VerusConfig::default()),
+        (
+            "monotone_spline",
+            VerusConfig {
+                spline: SplineKind::Monotone,
+                ..VerusConfig::default()
+            },
+        ),
+        (
+            "no_recovery_freeze",
+            VerusConfig {
+                freeze_profile_in_recovery: false,
+                ..VerusConfig::default()
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || config,
+                |cfg| run_variant(cfg, 10),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    // The CellExperiment wrapper is part of every figure harness; keep an
+    // eye on its fixed overhead too.
+    let trace = Scenario::CampusStationary
+        .generate_trace(OperatorModel::Etisalat3G, SimDuration::from_secs(5), 99)
+        .unwrap();
+    c.bench_function("harness/cell_experiment_setup", |b| {
+        b.iter_batched(
+            || trace.clone(),
+            |t| CellExperiment::new(t, 3, SimDuration::from_secs(10), 1),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

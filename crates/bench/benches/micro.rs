@@ -1,0 +1,209 @@
+//! Criterion micro-benchmarks for the hot paths of the reproduction:
+//! the per-ACK and per-epoch costs of Verus (the prototype worried about
+//! "the high computational effort of the cubic spline interpolation"),
+//! Sprout's per-tick Bayesian update, packet codecs, and simulator
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use verus_baselines::Sprout;
+use verus_bench::{cc_by_name, CellExperiment, ProtocolSpec};
+use verus_cellular::{OperatorModel, Scenario};
+use verus_core::{DelayProfiler, SplineKind, VerusCc};
+use verus_nettypes::{
+    AckEvent, AckPacket, CongestionControl, DataPacket, SimDuration, SimTime,
+};
+use verus_spline::{Curve, NaturalCubic};
+
+fn profile_with_points(n: u32) -> DelayProfiler {
+    let mut p = DelayProfiler::new(0.875, SplineKind::Natural);
+    for w in 1..=n {
+        p.add_sample(
+            SimTime::ZERO,
+            f64::from(w),
+            20.0 + 2.0 * f64::from(w) + (f64::from(w) * 0.7).sin(),
+        );
+    }
+    p.refit(SimTime::ZERO);
+    p
+}
+
+fn bench_spline(c: &mut Criterion) {
+    let knots: Vec<(f64, f64)> = (1..=200)
+        .map(|i| (f64::from(i), 20.0 + 2.0 * f64::from(i)))
+        .collect();
+    c.bench_function("spline/fit_200_knots", |b| {
+        b.iter(|| NaturalCubic::fit(black_box(&knots)).unwrap())
+    });
+    let spline = NaturalCubic::fit(&knots).unwrap();
+    c.bench_function("spline/eval", |b| {
+        b.iter(|| black_box(&spline).eval(black_box(73.4)))
+    });
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let profile = profile_with_points(200);
+    // The per-epoch inverse lookup (runs every ε = 5 ms in the protocol).
+    c.bench_function("profile/lookup_window", |b| {
+        b.iter(|| black_box(&profile).lookup_window(black_box(140.0), 2.0, 20_000.0))
+    });
+    // The once-per-second re-interpolation of §5.1.
+    c.bench_function("profile/refit_200_points", |b| {
+        b.iter_batched(
+            || profile_with_points(200),
+            |mut p| {
+                p.refit(SimTime::from_secs(1));
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_verus_events(c: &mut Criterion) {
+    fn warmed_verus() -> VerusCc {
+        let mut cc = VerusCc::default();
+        let mut now = SimTime::ZERO;
+        for s in 0..500u64 {
+            let w = cc.window();
+            cc.on_ack(
+                now,
+                &AckEvent {
+                    seq: s,
+                    bytes: 1400,
+                    rtt: SimDuration::from_millis_f64(20.0 + w),
+                    delay: SimDuration::from_millis_f64(10.0 + w / 2.0),
+                    send_window: w,
+                },
+            );
+            now += SimDuration::from_millis(1);
+            if s % 5 == 0 {
+                cc.on_tick(now);
+            }
+        }
+        cc
+    }
+    c.bench_function("verus/on_ack", |b| {
+        b.iter_batched(
+            warmed_verus,
+            |mut cc| {
+                for s in 0..100u64 {
+                    cc.on_ack(
+                        SimTime::from_secs(1),
+                        &AckEvent {
+                            seq: 1000 + s,
+                            bytes: 1400,
+                            rtt: SimDuration::from_millis(60),
+                            delay: SimDuration::from_millis(30),
+                            send_window: cc.window(),
+                        },
+                    );
+                }
+                cc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // One ε-epoch step: Eq. 4 + profile inversion + Eq. 5.
+    c.bench_function("verus/on_tick_epoch", |b| {
+        b.iter_batched(
+            warmed_verus,
+            |mut cc| {
+                for i in 0..100u64 {
+                    cc.on_tick(SimTime::from_millis(1000 + i * 5));
+                }
+                cc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sprout_tick(c: &mut Criterion) {
+    c.bench_function("sprout/on_tick", |b| {
+        b.iter_batched(
+            Sprout::default,
+            |mut cc| {
+                let mut now = SimTime::ZERO;
+                for s in 0..50u64 {
+                    for _ in 0..10 {
+                        cc.on_packet_sent(now, s, 1400);
+                        cc.on_ack(
+                            now,
+                            &AckEvent {
+                                seq: s,
+                                bytes: 1400,
+                                rtt: SimDuration::from_millis(40),
+                                delay: SimDuration::from_millis(20),
+                                send_window: 10.0,
+                            },
+                        );
+                    }
+                    now += SimDuration::from_millis(20);
+                    cc.on_tick(now);
+                }
+                cc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let pkt = DataPacket {
+        flow: 3,
+        seq: 123_456,
+        send_time_us: 42_000_000,
+        send_window: 87.25,
+        payload_len: 1400,
+    };
+    c.bench_function("packet/data_encode", |b| b.iter(|| black_box(&pkt).encode()));
+    let wire = pkt.encode();
+    c.bench_function("packet/data_decode", |b| {
+        b.iter(|| DataPacket::decode(black_box(&wire)).unwrap())
+    });
+    let ack = AckPacket::for_packet(&pkt, 42_050_000);
+    let ack_wire = ack.encode();
+    c.bench_function("packet/ack_decode", |b| {
+        b.iter(|| AckPacket::decode(black_box(&ack_wire)).unwrap())
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let trace = Scenario::CampusStationary
+        .generate_trace(OperatorModel::Etisalat3G, SimDuration::from_secs(5), 42)
+        .unwrap();
+    // A whole 10-simulated-second Verus-over-cellular run per iteration.
+    c.bench_function("netsim/verus_10s_cell_run", |b| {
+        b.iter_batched(
+            || CellExperiment::new(trace.clone(), 1, SimDuration::from_secs(10), 7),
+            |exp| exp.run(ProtocolSpec::verus(2.0)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("netsim/cubic_10s_cell_run", |b| {
+        b.iter_batched(
+            || CellExperiment::new(trace.clone(), 1, SimDuration::from_secs(10), 7),
+            |exp| exp.run(ProtocolSpec::baseline("cubic")),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cc_factory(c: &mut Criterion) {
+    c.bench_function("cc/construct_all", |b| {
+        b.iter(|| {
+            for name in ["verus", "cubic", "newreno", "vegas", "sprout"] {
+                black_box(cc_by_name(name, 2.0));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_spline, bench_profile, bench_verus_events, bench_sprout_tick,
+              bench_packet_codec, bench_simulator, bench_cc_factory
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Figure 3: impact of competing traffic on packet delay over a 3G
+//! downlink — user 1 receives at 1/5/10 Mbit/s while user 2 toggles a
+//! 10 Mbit/s flow ON/OFF in one-minute intervals.
+//!
+//! The paper's point: despite per-user queues, flows contend for the same
+//! radio resources, so user 1's delay rises when user 2 is ON —
+//! dramatically so when the combined rate approaches the ~10 Mbit/s cell
+//! capacity.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use verus_bench::{print_table, write_json};
+use verus_cellular::fading::{FadingConfig, LinkBudget};
+use verus_cellular::scheduler::{run_cell, CellConfig, Demand, UserConfig};
+use verus_nettypes::SimDuration;
+
+#[derive(Serialize)]
+struct Fig3Row {
+    user1_rate_mbps: f64,
+    delay_off_ms: f64,
+    delay_on_ms: f64,
+}
+
+fn main() {
+    let minute = SimDuration::from_secs(60);
+    let mut rows_out = Vec::new();
+    let mut table = Vec::new();
+
+    for (i, rate_mbps) in [1.0, 5.0, 10.0].into_iter().enumerate() {
+        // Peak 32 Mbit/s ⇒ ≈ 21 Mbit/s typical at the stationary SNR,
+        // matching the paper's setup where 10 + 10 Mbit/s "is almost
+        // equal to the 3G channel capacity".
+        let cell = CellConfig::new(
+            LinkBudget::hspa(32e6),
+            vec![
+                UserConfig {
+                    demand: Demand::Cbr {
+                        rate_bps: rate_mbps * 1e6,
+                    },
+                    fading: FadingConfig::stationary(),
+                },
+                UserConfig {
+                    demand: Demand::OnOff {
+                        rate_bps: 10e6,
+                        on: minute,
+                        off: minute,
+                    },
+                    fading: FadingConfig::stationary(),
+                },
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(300 + i as u64);
+        let results = run_cell(&cell, SimDuration::from_secs(600), &mut rng);
+        let user1 = &results[0];
+
+        // Split user 1's delays by user 2's phase (ON first).
+        let cycle_ms = 120_000u64;
+        let (mut on, mut off) = (Vec::new(), Vec::new());
+        for (t, d) in &user1.delays {
+            if t.as_millis() % cycle_ms < 60_000 {
+                on.push(d.as_millis_f64());
+            } else {
+                off.push(d.as_millis_f64());
+            }
+        }
+        // The paper's delays include ~20 ms of core-network path on top
+        // of the radio queue; add the same constant so idle-phase bars
+        // sit at realistic absolute values.
+        const CORE_MS: f64 = 20.0;
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64 + CORE_MS;
+        let row = Fig3Row {
+            user1_rate_mbps: rate_mbps,
+            delay_off_ms: mean(&off),
+            delay_on_ms: mean(&on),
+        };
+        table.push(vec![
+            format!("User 1 @ {rate_mbps} Mbit/s"),
+            format!("{:.1}", row.delay_off_ms),
+            format!("{:.1}", row.delay_on_ms),
+            format!("{:.1}x", row.delay_on_ms / row.delay_off_ms.max(1e-9)),
+        ]);
+        rows_out.push(row);
+    }
+
+    println!("Figure 3 — user 1 mean packet delay vs user 2 (10 Mbit/s) ON/OFF, 3G downlink");
+    println!();
+    print_table(
+        &["scenario", "user2 OFF (ms)", "user2 ON (ms)", "inflation"],
+        &table,
+    );
+    println!();
+    println!("paper shape: delay inflation grows with user 1's rate and explodes");
+    println!("when the combined rate (user1 + 10) approaches the cell capacity.");
+
+    write_json("fig03_competing_traffic", &rows_out);
+}

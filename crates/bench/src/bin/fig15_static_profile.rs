@@ -1,0 +1,96 @@
+//! Figure 15: the paper's own ablation — Verus with the delay profile
+//! updating normally (re-interpolated every second) versus frozen at the
+//! first curve it builds, over the five collected traces.
+//!
+//! Shape to reproduce: "updating the curve has an impact on performance"
+//! — the static profile loses throughput and/or delay because its
+//! operating points no longer match the channel.
+
+use serde::Serialize;
+use verus_bench::{print_table, write_json, CellExperiment, ProtocolSpec};
+use verus_cellular::{OperatorModel, Scenario};
+use verus_nettypes::SimDuration;
+
+#[derive(Serialize)]
+struct Fig15Row {
+    scenario: String,
+    updating_mbps: f64,
+    updating_delay_ms: f64,
+    static_mbps: f64,
+    static_delay_ms: f64,
+}
+
+fn main() {
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for (si, scenario) in Scenario::evaluation_five().into_iter().enumerate() {
+        let trace = scenario
+            .generate_trace(
+                OperatorModel::Etisalat3G,
+                SimDuration::from_secs(120),
+                2100 + si as u64,
+            )
+            .expect("trace");
+        let exp = CellExperiment::new(
+            trace,
+            3,
+            SimDuration::from_secs(120),
+            2200 + si as u64,
+        );
+        let run = |name: &'static str| {
+            let reports = exp.run(ProtocolSpec {
+                name,
+                r: 2.0,
+            });
+            let n = reports.len() as f64;
+            (
+                reports.iter().map(|r| r.mean_throughput_mbps()).sum::<f64>() / n,
+                reports.iter().map(|r| r.mean_delay_ms()).sum::<f64>() / n,
+            )
+        };
+        let (u_t, u_d) = run("verus");
+        let (s_t, s_d) = run("verus-static-profile");
+        rows.push(vec![
+            scenario.name().to_string(),
+            format!("{u_t:.2}"),
+            format!("{u_d:.0}"),
+            format!("{s_t:.2}"),
+            format!("{s_d:.0}"),
+        ]);
+        out.push(Fig15Row {
+            scenario: scenario.name().into(),
+            updating_mbps: u_t,
+            updating_delay_ms: u_d,
+            static_mbps: s_t,
+            static_delay_ms: s_d,
+        });
+    }
+
+    println!("Figure 15 — Verus (R=2) with updating vs static delay profile");
+    println!();
+    print_table(
+        &[
+            "scenario",
+            "updating Mbit/s",
+            "updating ms",
+            "static Mbit/s",
+            "static ms",
+        ],
+        &rows,
+    );
+    // Aggregate comparison.
+    let agg = |f: fn(&Fig15Row) -> f64| out.iter().map(f).sum::<f64>() / out.len() as f64;
+    println!();
+    println!(
+        "averages: updating {:.2} Mbit/s @ {:.0} ms — static {:.2} Mbit/s @ {:.0} ms",
+        agg(|r| r.updating_mbps),
+        agg(|r| r.updating_delay_ms),
+        agg(|r| r.static_mbps),
+        agg(|r| r.static_delay_ms)
+    );
+    println!();
+    println!("paper shape: the static profile is strictly worse — lower throughput");
+    println!("and/or higher delay — because the channel moves away from the curve.");
+
+    write_json("fig15_static_profile", &out);
+}

@@ -1,0 +1,66 @@
+//! Runs every experiment binary in sequence — the one-shot reproduction
+//! of all the paper's tables and figures. Results land in `results/`.
+//!
+//! Usage: `cargo run --release -p verus-bench --bin repro_all`
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig01_burst_arrivals",
+    "fig02_burst_pdfs",
+    "fig03_competing_traffic",
+    "fig04_throughput_windows",
+    "fig05_delay_profile",
+    "fig07_profile_evolution",
+    "fig08_macro_3g_lte",
+    "fig09_r_tradeoff",
+    "fig10_mobility_scatter",
+    "table1_jain_fairness",
+    "fig11_rapid_change",
+    "fig12_flow_arrivals",
+    "fig13_rtt_fairness",
+    "fig14_vs_cubic",
+    "fig15_static_profile",
+    "sec3_predictability",
+    "sec53_sensitivity",
+    "sec7_short_flows",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for (i, name) in EXPERIMENTS.iter().enumerate() {
+        println!();
+        println!(
+            "━━━ [{}/{}] {name} ━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━━",
+            i + 1,
+            EXPERIMENTS.len()
+        );
+        let started = std::time::Instant::now();
+        let status = Command::new(exe_dir.join(name)).status();
+        match status {
+            Ok(s) if s.success() => {
+                println!("({name} finished in {:.1} s)", started.elapsed().as_secs_f64());
+            }
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("could not run {name}: {e} (build with --release first)");
+                failures.push(*name);
+            }
+        }
+    }
+    println!();
+    if failures.is_empty() {
+        println!("All {} experiments completed; JSON in results/.", EXPERIMENTS.len());
+    } else {
+        eprintln!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Output helpers: aligned text tables and JSON result records.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Directory where experiment JSON lands (`VERUS_RESULTS` or `results/`).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("VERUS_RESULTS").unwrap_or_else(|_| "results".into());
+    let path = PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&path);
+    path
+}
+
+/// Serializes `value` to `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match std::fs::File::create(&path) {
+        Ok(f) => {
+            if let Err(e) = serde_json::to_writer_pretty(f, value) {
+                eprintln!("warning: could not serialize {}: {e}", path.display());
+            } else {
+                println!("→ wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not create {}: {e}", path.display()),
+    }
+}
+
+/// Prints an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            s.push_str(&format!("{cell:>w$}  "));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| (*h).to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}

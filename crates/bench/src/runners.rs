@@ -1,0 +1,250 @@
+//! Shared experiment runners.
+//!
+//! Two testbed shapes cover every figure:
+//!
+//! * [`cell_experiment`] — §6's setup: N flows of one protocol over a
+//!   trace-driven cellular bottleneck behind the paper's RED queue;
+//! * [`dumbbell_experiment`] — §7's setup: flows (possibly mixed
+//!   protocols, staggered starts, per-flow RTTs) over a fixed link.
+
+use verus_baselines::{Cubic, NewReno, Sprout, Vegas};
+use verus_cellular::Trace;
+use verus_core::{VerusCc, VerusConfig};
+use verus_netsim::queue::QueueConfig;
+use verus_netsim::{BottleneckConfig, FlowConfig, FlowReport, SimConfig, Simulation};
+use verus_nettypes::{CongestionControl, SimDuration, SimTime};
+
+/// A named protocol + parameterization, e.g. `("verus", R=2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolSpec {
+    /// Protocol name: `verus`, `cubic`, `newreno`, `vegas`, `sprout`.
+    pub name: &'static str,
+    /// Verus' R parameter (ignored by the other protocols).
+    pub r: f64,
+}
+
+impl ProtocolSpec {
+    /// Verus with a given R.
+    #[must_use]
+    pub fn verus(r: f64) -> Self {
+        Self { name: "verus", r }
+    }
+
+    /// A baseline by name.
+    #[must_use]
+    pub fn baseline(name: &'static str) -> Self {
+        Self { name, r: 2.0 }
+    }
+
+    /// Display label ("verus (R=2)" / "cubic").
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.name == "verus" {
+            format!("verus (R={})", self.r)
+        } else {
+            self.name.to_string()
+        }
+    }
+
+    /// Instantiates a fresh controller.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn CongestionControl> {
+        cc_by_name(self.name, self.r)
+    }
+}
+
+/// Builds a controller by name (`verus` takes the R parameter).
+///
+/// # Panics
+/// Panics on unknown names — experiment configs are static.
+#[must_use]
+pub fn cc_by_name(name: &str, r: f64) -> Box<dyn CongestionControl> {
+    match name {
+        "verus" => Box::new(VerusCc::new(VerusConfig::with_r(r))),
+        "verus-static-profile" => Box::new(VerusCc::new(VerusConfig {
+            profile_updates: false,
+            ..VerusConfig::with_r(r)
+        })),
+        "cubic" => Box::new(Cubic::new()),
+        "newreno" => Box::new(NewReno::new()),
+        "vegas" => Box::new(Vegas::new()),
+        "sprout" => Box::new(Sprout::default()),
+        other => panic!("unknown protocol {other:?}"),
+    }
+}
+
+/// Configuration of one trace-driven cell run.
+#[derive(Clone)]
+pub struct CellExperiment {
+    /// The channel trace.
+    pub trace: Trace,
+    /// Number of simultaneous flows (all the same protocol, as in the
+    /// paper's per-protocol runs).
+    pub flows: usize,
+    /// Run length.
+    pub duration: SimDuration,
+    /// Base RTT of the path.
+    pub base_rtt: SimDuration,
+    /// Queue in front of the cell link.
+    pub queue: QueueConfig,
+    /// Stochastic loss.
+    pub loss: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl CellExperiment {
+    /// The §6.2 defaults: paper RED queue, 40 ms base RTT, no extra loss.
+    #[must_use]
+    pub fn new(trace: Trace, flows: usize, duration: SimDuration, seed: u64) -> Self {
+        Self {
+            trace,
+            flows,
+            duration,
+            base_rtt: SimDuration::from_millis(40),
+            queue: QueueConfig::paper_red(),
+            loss: 0.0,
+            seed,
+        }
+    }
+
+    /// Runs `spec` over this cell and returns per-flow reports.
+    #[must_use]
+    pub fn run(&self, spec: ProtocolSpec) -> Vec<FlowReport> {
+        let flows = (0..self.flows)
+            .map(|_| FlowConfig::new(spec.build()))
+            .collect();
+        let config = SimConfig {
+            bottleneck: BottleneckConfig::Cell {
+                trace: self.trace.clone(),
+                base_rtt: self.base_rtt,
+                loss: self.loss,
+            },
+            queue: self.queue,
+            flows,
+            duration: self.duration,
+            seed: self.seed,
+            throughput_window: SimDuration::from_secs(1),
+        };
+        Simulation::new(config).expect("valid config").run()
+    }
+}
+
+/// Runs a [`CellExperiment`] and reduces it to per-flow
+/// `(throughput Mbit/s, mean delay ms)` scatter points.
+#[must_use]
+pub fn cell_experiment(exp: &CellExperiment, spec: ProtocolSpec) -> Vec<(f64, f64)> {
+    exp.run(spec)
+        .iter()
+        .map(|r| (r.mean_throughput_mbps(), r.mean_delay_ms()))
+        .collect()
+}
+
+/// Configuration of one fixed-link (dumbbell) run with mixed flows.
+pub struct DumbbellExperiment {
+    /// Link rate in bits/s.
+    pub rate_bps: f64,
+    /// Base RTT.
+    pub base_rtt: SimDuration,
+    /// Flows: `(spec, start time, extra RTT)`.
+    pub flows: Vec<(ProtocolSpec, SimTime, SimDuration)>,
+    /// Run length.
+    pub duration: SimDuration,
+    /// Queue.
+    pub queue: QueueConfig,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl DumbbellExperiment {
+    /// Runs and returns per-flow reports (same order as `flows`).
+    #[must_use]
+    pub fn run(&self) -> Vec<FlowReport> {
+        let flows = self
+            .flows
+            .iter()
+            .map(|(spec, start, extra_rtt)| {
+                FlowConfig::new(spec.build())
+                    .starting_at(*start)
+                    .with_extra_rtt(*extra_rtt)
+            })
+            .collect();
+        let config = SimConfig {
+            bottleneck: BottleneckConfig::fixed(self.rate_bps, self.base_rtt, 0.0),
+            queue: self.queue,
+            flows,
+            duration: self.duration,
+            seed: self.seed,
+            throughput_window: SimDuration::from_secs(1),
+        };
+        Simulation::new(config).expect("valid config").run()
+    }
+}
+
+/// Convenience wrapper mirroring [`cell_experiment`].
+#[must_use]
+pub fn dumbbell_experiment(exp: &DumbbellExperiment) -> Vec<FlowReport> {
+    exp.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verus_cellular::{OperatorModel, Scenario};
+
+    #[test]
+    fn cc_by_name_builds_all_protocols() {
+        for name in ["verus", "cubic", "newreno", "vegas", "sprout"] {
+            let cc = cc_by_name(name, 2.0);
+            assert_eq!(cc.name(), name);
+        }
+        assert_eq!(cc_by_name("verus-static-profile", 4.0).name(), "verus");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown protocol")]
+    fn cc_by_name_rejects_unknown() {
+        let _ = cc_by_name("reno2000", 2.0);
+    }
+
+    #[test]
+    fn labels_distinguish_r() {
+        assert_eq!(ProtocolSpec::verus(4.0).label(), "verus (R=4)");
+        assert_eq!(ProtocolSpec::baseline("cubic").label(), "cubic");
+    }
+
+    #[test]
+    fn cell_experiment_produces_one_point_per_flow() {
+        let trace = Scenario::CampusStationary
+            .generate_trace(OperatorModel::Etisalat3G, SimDuration::from_secs(5), 1)
+            .unwrap();
+        let exp = CellExperiment::new(trace, 3, SimDuration::from_secs(10), 2);
+        let pts = cell_experiment(&exp, ProtocolSpec::baseline("cubic"));
+        assert_eq!(pts.len(), 3);
+        assert!(pts.iter().all(|&(t, d)| t > 0.0 && d > 0.0));
+    }
+
+    #[test]
+    fn dumbbell_runs_mixed_protocols() {
+        let exp = DumbbellExperiment {
+            rate_bps: 20e6,
+            base_rtt: SimDuration::from_millis(40),
+            flows: vec![
+                (ProtocolSpec::verus(2.0), SimTime::ZERO, SimDuration::ZERO),
+                (
+                    ProtocolSpec::baseline("cubic"),
+                    SimTime::from_secs(2),
+                    SimDuration::from_millis(20),
+                ),
+            ],
+            duration: SimDuration::from_secs(10),
+            queue: QueueConfig::deep_droptail(),
+            seed: 3,
+        };
+        let reports = exp.run();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].protocol, "verus");
+        assert_eq!(reports[1].protocol, "cubic");
+        assert!(reports[0].mean_throughput_mbps() > 0.5);
+    }
+}

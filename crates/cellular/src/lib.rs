@@ -1,0 +1,47 @@
+//! Synthetic cellular channels for the Verus reproduction.
+//!
+//! The paper's evaluation is driven by packet traces collected on two
+//! commercial UAE operators (Etisalat and Du), on 3G/HSPA+ and LTE, across
+//! seven mobility scenarios (§5.3). Those traces are proprietary, so this
+//! crate builds the closest synthetic equivalent: a cellular **radio
+//! scheduler model** that reproduces the three channel properties §3 shows
+//! matter for congestion control —
+//!
+//! 1. **burst scheduling** — users are served in 1–2 ms Transmission Time
+//!    Intervals; arrivals at the receiver come in bursts with heavy-tailed
+//!    sizes and inter-arrival gaps (Figures 1 and 2);
+//! 2. **capacity variation on two time scales** — fast fading (ms, modelled
+//!    as a Gauss–Markov SNR process) and slow fading/path-loss (seconds,
+//!    an Ornstein–Uhlenbeck shadowing process plus mobility drift)
+//!    (Figures 4 and 7a);
+//! 3. **contention** — multiple users share the same TTIs, so a saturating
+//!    neighbour inflates everyone's delay (Figure 3).
+//!
+//! The output of a channel model is a [`trace::Trace`]: a time-ordered list
+//! of *delivery opportunities* `(time, bytes)`, exactly mahimahi's link
+//! abstraction, consumed by the simulator's cellular link and by the UDP
+//! channel emulator.
+//!
+//! Modules:
+//! * [`fading`] — SNR processes and the SNR→rate map;
+//! * [`scheduler`] — the TTI scheduler that turns a rate process into
+//!   per-user delivery opportunities (with ON/OFF serving runs → bursts);
+//! * [`scenarios`] — the paper's seven measurement scenarios and four
+//!   operator/technology models as named parameter sets;
+//! * [`trace`] — the delivery-opportunity trace (save/load, mahimahi
+//!   compatibility, rate queries);
+//! * [`burst`] — burst detection and statistics (regenerates Figure 2);
+//! * [`predictors`] — the simple channel predictors §3 shows failing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burst;
+pub mod fading;
+pub mod predictors;
+pub mod scenarios;
+pub mod scheduler;
+pub mod trace;
+
+pub use scenarios::{OperatorModel, Scenario};
+pub use trace::Trace;

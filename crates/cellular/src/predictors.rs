@@ -1,0 +1,318 @@
+//! Simple channel predictors — and how badly they do.
+//!
+//! §3 of the paper: "we experimented with simple predictors to compare the
+//! predicted data with actual transmissions … linear predictors and k-step
+//! ahead predictors fail to track the high variations of the channel".
+//! These are exactly those predictors, applied to a windowed throughput
+//! series (e.g. the 20 ms windows of Figure 4b). The `sec3_predictability`
+//! bench regenerates the conclusion: normalized errors stay large no
+//! matter how recent the samples are — the observation that motivates
+//! Verus' design choice to *adapt* rather than *predict*.
+
+use verus_stats::Ewma;
+
+/// A one-series-in, k-step-ahead-out channel predictor.
+pub trait Predictor {
+    /// Short name for report tables.
+    fn name(&self) -> String;
+
+    /// Feeds the next observed sample (window throughput, bytes, …).
+    fn observe(&mut self, value: f64);
+
+    /// Predicts the value `k ≥ 1` steps ahead of the last observation,
+    /// or `None` while the history is too short.
+    fn predict(&self, k: usize) -> Option<f64>;
+}
+
+/// Hold-last-value (naïve k-step) predictor.
+#[derive(Debug, Clone, Default)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl LastValue {
+    /// Creates the predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for LastValue {
+    fn name(&self) -> String {
+        "last-value".into()
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.last = Some(value);
+    }
+
+    fn predict(&self, _k: usize) -> Option<f64> {
+        self.last
+    }
+}
+
+/// Mean of the last `w` samples.
+#[derive(Debug, Clone)]
+pub struct SlidingMean {
+    window: usize,
+    buf: Vec<f64>,
+}
+
+impl SlidingMean {
+    /// Creates a predictor averaging the last `window ≥ 1` samples.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1);
+        Self {
+            window,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl Predictor for SlidingMean {
+    fn name(&self) -> String {
+        format!("mean-{}", self.window)
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.buf.push(value);
+        if self.buf.len() > self.window {
+            self.buf.remove(0);
+        }
+    }
+
+    fn predict(&self, _k: usize) -> Option<f64> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(self.buf.iter().sum::<f64>() / self.buf.len() as f64)
+        }
+    }
+}
+
+/// EWMA predictor.
+#[derive(Debug, Clone)]
+pub struct EwmaPredictor {
+    ewma: Ewma,
+}
+
+impl EwmaPredictor {
+    /// Creates an EWMA predictor with weight `alpha` on history.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        Self {
+            ewma: Ewma::new(alpha),
+        }
+    }
+}
+
+impl Predictor for EwmaPredictor {
+    fn name(&self) -> String {
+        format!("ewma-{:.2}", self.ewma.alpha())
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.ewma.update(value);
+    }
+
+    fn predict(&self, _k: usize) -> Option<f64> {
+        self.ewma.value()
+    }
+}
+
+/// Least-squares linear extrapolation over the last `w` samples —
+/// the paper's "linear predictor".
+#[derive(Debug, Clone)]
+pub struct LinearPredictor {
+    window: usize,
+    buf: Vec<f64>,
+}
+
+impl LinearPredictor {
+    /// Creates a linear predictor fitting the last `window ≥ 2` samples.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2);
+        Self {
+            window,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl Predictor for LinearPredictor {
+    fn name(&self) -> String {
+        format!("linear-{}", self.window)
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.buf.push(value);
+        if self.buf.len() > self.window {
+            self.buf.remove(0);
+        }
+    }
+
+    fn predict(&self, k: usize) -> Option<f64> {
+        let n = self.buf.len();
+        if n < 2 {
+            return None;
+        }
+        // Fit y = a + b·x over x = 0..n−1, predict at x = n−1+k.
+        let nf = n as f64;
+        let sx = (nf - 1.0) * nf / 2.0;
+        let sxx = (nf - 1.0) * nf * (2.0 * nf - 1.0) / 6.0;
+        let sy: f64 = self.buf.iter().sum();
+        let sxy: f64 = self.buf.iter().enumerate().map(|(i, &y)| i as f64 * y).sum();
+        let denom = nf * sxx - sx * sx;
+        if denom.abs() < 1e-12 {
+            return Some(sy / nf);
+        }
+        let b = (nf * sxy - sx * sy) / denom;
+        let a = (sy - b * sx) / nf;
+        // Throughputs are non-negative; clamp the extrapolation.
+        Some((a + b * (nf - 1.0 + k as f64)).max(0.0))
+    }
+}
+
+/// Prediction-error report for one predictor and horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionError {
+    /// Horizon in steps.
+    pub k: usize,
+    /// Number of scored predictions.
+    pub count: usize,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// RMSE normalized by the series' mean (dimensionless).
+    pub nrmse: f64,
+}
+
+/// Scores a predictor on `series` at horizon `k`: for each index `i`, the
+/// predictor sees samples `0..=i` and is scored against sample `i+k`.
+/// Returns `None` if the series is too short to score anything.
+#[must_use]
+pub fn evaluate<P: Predictor>(predictor: &mut P, series: &[f64], k: usize) -> Option<PredictionError> {
+    assert!(k >= 1, "horizon must be at least 1");
+    if series.len() <= k {
+        return None;
+    }
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    let mut se = 0.0;
+    let mut ae = 0.0;
+    let mut n = 0usize;
+    for i in 0..series.len() - k {
+        predictor.observe(series[i]);
+        if let Some(pred) = predictor.predict(k) {
+            let err = pred - series[i + k];
+            se += err * err;
+            ae += err.abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return None;
+    }
+    let rmse = (se / n as f64).sqrt();
+    Some(PredictionError {
+        k,
+        count: n,
+        rmse,
+        mae: ae / n as f64,
+        nrmse: if mean.abs() > 1e-12 { rmse / mean } else { f64::INFINITY },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_value_holds() {
+        let mut p = LastValue::new();
+        assert_eq!(p.predict(1), None);
+        p.observe(5.0);
+        p.observe(9.0);
+        assert_eq!(p.predict(1), Some(9.0));
+        assert_eq!(p.predict(10), Some(9.0));
+    }
+
+    #[test]
+    fn sliding_mean_averages_window() {
+        let mut p = SlidingMean::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            p.observe(v);
+        }
+        // last three: 2,3,4
+        assert_eq!(p.predict(1), Some(3.0));
+    }
+
+    #[test]
+    fn linear_predictor_is_exact_on_lines() {
+        let mut p = LinearPredictor::new(5);
+        for i in 0..5 {
+            p.observe(2.0 * i as f64 + 1.0);
+        }
+        // next value on the line: x=5 → 11; k=3 → x=7 → 15
+        assert!((p.predict(1).unwrap() - 11.0).abs() < 1e-9);
+        assert!((p.predict(3).unwrap() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_predictor_clamps_negative() {
+        let mut p = LinearPredictor::new(3);
+        for v in [9.0, 5.0, 1.0] {
+            p.observe(v);
+        }
+        // trend hits negative quickly; prediction must clamp at 0
+        assert_eq!(p.predict(5), Some(0.0));
+    }
+
+    #[test]
+    fn evaluate_perfect_on_constant_series() {
+        let series = vec![4.0; 50];
+        let err = evaluate(&mut LastValue::new(), &series, 1).unwrap();
+        assert_eq!(err.rmse, 0.0);
+        assert_eq!(err.mae, 0.0);
+        assert_eq!(err.count, 49);
+    }
+
+    #[test]
+    fn evaluate_known_error_on_alternating_series() {
+        // series alternates 0,10,0,10… last-value at k=1 is always wrong by 10.
+        let series: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect();
+        let err = evaluate(&mut LastValue::new(), &series, 1).unwrap();
+        assert!((err.rmse - 10.0).abs() < 1e-9);
+        assert!((err.mae - 10.0).abs() < 1e-9);
+        assert!((err.nrmse - 2.0).abs() < 1e-9); // mean = 5
+    }
+
+    #[test]
+    fn evaluate_too_short_series() {
+        assert!(evaluate(&mut LastValue::new(), &[1.0], 1).is_none());
+        assert!(evaluate(&mut LastValue::new(), &[1.0, 2.0], 5).is_none());
+    }
+
+    #[test]
+    fn ewma_predictor_smooths() {
+        let mut p = EwmaPredictor::new(0.5);
+        p.observe(0.0);
+        p.observe(10.0);
+        assert_eq!(p.predict(1), Some(5.0));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            LastValue::new().name(),
+            SlidingMean::new(4).name(),
+            EwmaPredictor::new(0.9).name(),
+            LinearPredictor::new(8).name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the cellular substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use verus_cellular::burst::detect_bursts;
+use verus_cellular::fading::{FadingConfig, LinkBudget};
+use verus_cellular::scheduler::{run_cell, CellConfig, Demand, UserConfig};
+use verus_cellular::trace::{Opportunity, Trace};
+use verus_cellular::{OperatorModel, Scenario};
+use verus_nettypes::{SimDuration, SimTime};
+
+fn arbitrary_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((0u64..5_000, 1u32..60_000), 1..200).prop_map(|mut items| {
+        items.sort_by_key(|&(t, _)| t);
+        Trace::new(
+            "prop",
+            items
+                .into_iter()
+                .map(|(t, bytes)| Opportunity {
+                    time: SimTime::from_micros(t * 100),
+                    bytes,
+                })
+                .collect(),
+        )
+        .expect("sorted non-empty")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// JSON round-trip is lossless for any trace.
+    #[test]
+    fn json_round_trip(trace in arbitrary_trace()) {
+        let mut buf = Vec::new();
+        trace.save_json(&mut buf).unwrap();
+        let reloaded = Trace::load_json(&buf[..]).unwrap();
+        prop_assert_eq!(reloaded, trace);
+    }
+
+    /// Mahimahi round-trip preserves total capacity to within one MTU
+    /// and never unsorts timestamps.
+    #[test]
+    fn mahimahi_preserves_capacity(trace in arbitrary_trace()) {
+        let mut buf = Vec::new();
+        trace.save_mahimahi(&mut buf).unwrap();
+        if buf.is_empty() {
+            // a tiny trace may not fill a single MTU — that's the only
+            // case allowed to produce no lines
+            prop_assert!(trace.total_bytes() < 1500);
+            return Ok(());
+        }
+        let reloaded = Trace::load_mahimahi("r", &buf[..]).unwrap();
+        let diff = trace.total_bytes().abs_diff(reloaded.total_bytes());
+        prop_assert!(diff < 1500, "capacity drifted by {diff} B");
+        for w in reloaded.opportunities().windows(2) {
+            prop_assert!(w[1].time >= w[0].time);
+        }
+    }
+
+    /// extend_to never shrinks and reaches the requested duration.
+    #[test]
+    fn extend_to_covers_duration(trace in arbitrary_trace(), extra_ms in 1u64..2_000) {
+        let target = trace.duration() + SimDuration::from_millis(extra_ms);
+        let extended = trace.extend_to(target);
+        prop_assert!(extended.duration() >= target);
+        prop_assert!(extended.len() >= trace.len());
+    }
+
+    /// scale_rate scales total bytes by the factor (within rounding).
+    #[test]
+    fn scale_rate_scales_bytes(trace in arbitrary_trace(), factor in 0.1f64..5.0) {
+        let scaled = trace.scale_rate(factor);
+        let expected = trace.total_bytes() as f64 * factor;
+        let got = scaled.total_bytes() as f64;
+        // each opportunity rounds to ≥ 1 byte
+        let slack = trace.len() as f64 + expected * 0.01;
+        prop_assert!((got - expected).abs() <= slack.max(1.0),
+            "expected ~{expected}, got {got}");
+    }
+
+    /// Burst detection is a partition: packet and byte counts are
+    /// conserved, and bursts are time-ordered and non-overlapping.
+    #[test]
+    fn bursts_partition_arrivals(trace in arbitrary_trace(), gap_us in 50u64..100_000) {
+        let arrivals: Vec<(SimTime, u32)> = trace
+            .opportunities()
+            .iter()
+            .map(|o| (o.time, o.bytes))
+            .collect();
+        let bursts = detect_bursts(&arrivals, SimDuration::from_micros(gap_us));
+        let packets: u32 = bursts.iter().map(|b| b.packets).sum();
+        let bytes: u64 = bursts.iter().map(|b| b.bytes).sum();
+        prop_assert_eq!(packets as usize, arrivals.len());
+        prop_assert_eq!(bytes, trace.total_bytes());
+        for w in bursts.windows(2) {
+            prop_assert!(w[0].end < w[1].start, "bursts overlap");
+        }
+        for b in &bursts {
+            prop_assert!(b.start <= b.end);
+        }
+    }
+
+    /// The link budget's rate map is monotone in SNR for any peak rate.
+    #[test]
+    fn rate_map_monotone(peak_mbps in 1.0f64..100.0, lte in proptest::bool::ANY) {
+        let budget = if lte {
+            LinkBudget::lte(peak_mbps * 1e6)
+        } else {
+            LinkBudget::hspa(peak_mbps * 1e6)
+        };
+        let mut prev = 0u32;
+        for snr10 in -100i32..=300 {
+            let r = budget.bytes_per_tti(f64::from(snr10) / 10.0);
+            prop_assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    /// Cell-scheduler conservation: per-user delivered bytes equal the
+    /// sum of that user's granted opportunities, and CBR users never
+    /// receive more than they offered.
+    #[test]
+    fn scheduler_conserves_bytes(
+        rate_mbps in 0.2f64..5.0,
+        seed in 0u64..500,
+    ) {
+        let cell = CellConfig::new(
+            LinkBudget::hspa(8e6),
+            vec![
+                UserConfig {
+                    demand: Demand::Saturated,
+                    fading: FadingConfig::stationary(),
+                },
+                UserConfig {
+                    demand: Demand::Cbr { rate_bps: rate_mbps * 1e6 },
+                    fading: FadingConfig::pedestrian(),
+                },
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let results = run_cell(&cell, SimDuration::from_secs(5), &mut rng);
+        for r in &results {
+            let granted: u64 = r.opportunities.iter().map(|o| u64::from(o.bytes)).sum();
+            prop_assert_eq!(granted, r.delivered_bytes);
+        }
+        // CBR user cannot exceed its offered load (+1 queued packet).
+        let offered = rate_mbps * 1e6 / 8.0 * 5.0;
+        prop_assert!(results[1].delivered_bytes as f64 <= offered + 1400.0 * 2.0,
+            "CBR over-delivered: {} of {offered}", results[1].delivered_bytes);
+    }
+}
+
+/// Scenario generation is total: every (scenario, operator) pair yields a
+/// usable trace at several durations. (Plain test: the input space is
+/// finite.)
+#[test]
+fn scenario_matrix_is_total() {
+    for scenario in Scenario::all() {
+        for op in OperatorModel::all() {
+            let t = scenario
+                .generate_trace(op, SimDuration::from_secs(3), 77)
+                .expect("generation");
+            assert!(t.mean_rate_bps() > 1e5, "{} / {}", scenario.name(), op.name());
+        }
+    }
+}

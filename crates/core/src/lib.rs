@@ -1,0 +1,95 @@
+//! The Verus congestion-control algorithm.
+//!
+//! This crate implements the paper's contribution (§4–§5) as a pure,
+//! transport-agnostic state machine. The same [`VerusCc`] object drives
+//! both the discrete-event simulator (`verus-netsim`) and the real UDP
+//! transport (`verus-transport`) through the
+//! [`CongestionControl`](verus_nettypes::CongestionControl) trait.
+//!
+//! # How Verus works
+//!
+//! Verus never tries to *predict* the cellular channel. Instead it keeps a
+//! **delay profile** — a continuously-updated curve mapping sending window
+//! `W` (packets in flight) to expected end-to-end delay `D` (Figure 5) —
+//! and every ε = 5 ms epoch walks a delay *set point* `Dest` up or down
+//! based on the freshest delay trend, then inverts the profile to get the
+//! next window:
+//!
+//! 1. **Delay estimator** ([`delay`]): per epoch, the maximum observed
+//!    packet delay is smoothed by an EWMA (Eq. 2), and its change versus
+//!    the previous epoch, `ΔD` (Eq. 3), is the trend signal.
+//! 2. **Window estimator** ([`window`]): Eq. 4 moves `Dest` — down hard
+//!    (δ₂) when delay exceeds `R × Dmin`, down gently (δ₁) when delay is
+//!    rising, up (δ₂) when it is falling — and Eq. 5 converts the target
+//!    window into this epoch's send quota `S`.
+//! 3. **Delay profiler** ([`profile`]): every ACK updates the profile
+//!    point at the window the packet was sent under (EWMA), and the curve
+//!    is re-interpolated with a cubic spline once per second so slow
+//!    fading and path-loss shifts move the whole curve (Figure 7b).
+//! 4. **Loss handler** ([`loss`]): on loss the window collapses
+//!    multiplicatively from the *lost packet's* window (Eq. 6) and the
+//!    profile freezes until recovery completes, so post-loss (artificially
+//!    low) delays don't poison the profile.
+//!
+//! Startup is TCP-like slow start, which doubles the window each RTT and
+//! doubles as the profile's initial sampling pass (§5.1).
+//!
+//! # Timing framework (paper Figure 6)
+//!
+//! ```text
+//!  |—— estimated RTT (n = ⌈RTT/ε⌉ epochs) ——|
+//!  | ε | ε | ε | ε | ε | ε | ε | ε | ε | ε |
+//!        ^ each epoch: finish Dmax_i, update Dest, look up W_{i+1},
+//!          send S_{i+1} = max(0, W_{i+1} + (2−n)/(n−1)·W_i) packets
+//! ```
+//!
+//! # Example
+//!
+//! Drive the controller by hand (a transport does this for you —
+//! see `verus-netsim` and `verus-transport`):
+//!
+//! ```
+//! use verus_core::{Phase, VerusCc, VerusConfig};
+//! use verus_nettypes::{AckEvent, CongestionControl, SimDuration, SimTime};
+//!
+//! let mut cc = VerusCc::new(VerusConfig::with_r(2.0));
+//! assert_eq!(cc.phase(), Phase::SlowStart);
+//!
+//! // Feed ACKs whose delay grows with the window (a queueing channel).
+//! let mut now = SimTime::ZERO;
+//! for seq in 0..200 {
+//!     let w = cc.window();
+//!     cc.on_ack(now, &AckEvent {
+//!         seq,
+//!         bytes: 1400,
+//!         rtt: SimDuration::from_millis_f64(20.0 + 2.0 * w),
+//!         delay: SimDuration::from_millis_f64(10.0 + w),
+//!         send_window: w,
+//!     });
+//!     now = now + SimDuration::from_millis(1);
+//!     if seq % 5 == 0 { cc.on_tick(now); }
+//!     if cc.phase() != Phase::SlowStart { break; }
+//! }
+//! // Slow start exits once delay exceeds N×Dmin and the profile is fit.
+//! assert_eq!(cc.phase(), Phase::CongestionAvoidance);
+//! assert!(cc.profiler().has_curve());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod delay;
+pub mod loss;
+pub mod model;
+pub mod profile;
+pub mod sender;
+pub mod window;
+
+pub use config::{SplineKind, VerusConfig};
+pub use delay::DelayEstimator;
+pub use loss::LossHandler;
+pub use profile::DelayProfiler;
+pub use model::{steady_state, SteadyState};
+pub use sender::{Phase, VerusCc};
+pub use window::WindowEstimator;

@@ -1,0 +1,379 @@
+//! The Delay Profiler (paper §4 "Delay Profiler", §5.1, Figure 5).
+//!
+//! The profile is Verus' learned model of the channel: for each sending
+//! window `W` it remembers the smoothed end-to-end delay observed when
+//! packets were in flight under that window. Maintenance follows §5.1
+//! exactly:
+//!
+//! * **per ACK**: "the delay value of the point that corresponds to the
+//!   sending window of the acknowledged packet is updated with the new RTT
+//!   delay … using an EWMA function";
+//! * **per update interval (1 s)**: "due to the high computational effort
+//!   of the cubic spline interpolation, this calculation is not performed
+//!   after every acknowledgement" — the spline is re-fit from the point
+//!   set at fixed intervals;
+//! * **inverse lookup**: the window estimator finds `W_{i+1}` as the
+//!   window whose profile delay equals `Dest,i+1` (Figure 5's arrows).
+//!
+//! Windows are quantized to whole packets (they are packet counts), and
+//! delays are kept in milliseconds — the unit all of §4's equations use.
+
+use crate::config::SplineKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use verus_nettypes::{SimDuration, SimTime};
+use verus_spline::{Curve, MonotoneCubic, NaturalCubic};
+use verus_stats::Ewma;
+
+/// A fitted profile curve (either spline family).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum ProfileCurve {
+    Natural(NaturalCubic),
+    Monotone(MonotoneCubic),
+}
+
+impl ProfileCurve {
+    fn eval(&self, w: f64) -> f64 {
+        match self {
+            Self::Natural(s) => s.eval(w),
+            Self::Monotone(s) => s.eval(w),
+        }
+    }
+
+}
+
+/// One profile point: smoothed delay plus its freshness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Point {
+    ewma: Ewma,
+    last_update: SimTime,
+}
+
+/// The delay profile: point set + fitted curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DelayProfiler {
+    alpha: f64,
+    kind: SplineKind,
+    /// Points older than this at re-interpolation time are discarded:
+    /// a window the protocol has not exercised for tens of seconds says
+    /// nothing about today's channel (slow fading has long since moved
+    /// on), and keeping it freezes the curve's shape in the stale
+    /// region. `SimDuration::MAX` disables aging.
+    max_age: SimDuration,
+    /// Smoothed delay (ms) per integer window (packets).
+    points: BTreeMap<u32, Point>,
+    curve: Option<ProfileCurve>,
+    /// Largest window among live points (sets the upward-probing
+    /// headroom; recomputed when points age out).
+    max_window_seen: f64,
+}
+
+impl DelayProfiler {
+    /// Creates an empty profiler with per-point EWMA weight `alpha`.
+    #[must_use]
+    pub fn new(alpha: f64, kind: SplineKind) -> Self {
+        Self::with_max_age(alpha, kind, SimDuration::MAX)
+    }
+
+    /// Creates a profiler whose points expire after `max_age` without an
+    /// update (checked at [`Self::refit`] time).
+    #[must_use]
+    pub fn with_max_age(alpha: f64, kind: SplineKind, max_age: SimDuration) -> Self {
+        Self {
+            alpha,
+            kind,
+            max_age,
+            points: BTreeMap::new(),
+            curve: None,
+            max_window_seen: 0.0,
+        }
+    }
+
+    /// Feeds one `(sending window, delay)` observation from an ACK.
+    pub fn add_sample(&mut self, now: SimTime, window: f64, delay_ms: f64) {
+        debug_assert!(window.is_finite() && delay_ms.is_finite());
+        let key = (window.round().max(1.0)) as u32;
+        self.max_window_seen = self.max_window_seen.max(window);
+        let point = self.points.entry(key).or_insert_with(|| Point {
+            ewma: Ewma::new(self.alpha),
+            last_update: now,
+        });
+        point.ewma.update(delay_ms);
+        point.last_update = now;
+    }
+
+    /// Number of distinct window points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points have been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Whether a curve has been fitted and lookups will succeed.
+    #[must_use]
+    pub fn has_curve(&self) -> bool {
+        self.curve.is_some()
+    }
+
+    /// The recorded points as `(window, delay_ms)` (Figure 5's green dots).
+    #[must_use]
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|(&w, p)| (f64::from(w), p.ewma.value_or(0.0)))
+            .collect()
+    }
+
+    /// Re-interpolates the curve from the current point set (the once-per-
+    /// second step of §5.1), first discarding points that have not been
+    /// updated within `max_age`. Needs at least two distinct windows; with
+    /// fewer the existing curve (if any) is kept and `false` is returned.
+    pub fn refit(&mut self, now: SimTime) -> bool {
+        if self.max_age != SimDuration::MAX {
+            let max_age = self.max_age;
+            self.points
+                .retain(|_, p| now.saturating_since(p.last_update) <= max_age);
+            self.max_window_seen = self
+                .points
+                .keys()
+                .next_back()
+                .map_or(0.0, |&w| f64::from(w));
+        }
+        let knots = self.points();
+        if knots.len() < 2 {
+            return false;
+        }
+        self.curve = Some(match self.kind {
+            SplineKind::Natural => match NaturalCubic::fit(&knots) {
+                Ok(s) => ProfileCurve::Natural(s),
+                Err(_) => return false,
+            },
+            SplineKind::Monotone => match MonotoneCubic::fit(&knots) {
+                Ok(s) => ProfileCurve::Monotone(s),
+                Err(_) => return false,
+            },
+        });
+        true
+    }
+
+    /// Evaluates the fitted curve's delay (ms) at `window`, if a curve
+    /// exists.
+    #[must_use]
+    pub fn delay_at(&self, window: f64) -> Option<f64> {
+        self.curve.as_ref().map(|c| c.eval(window))
+    }
+
+    /// Inverse lookup (Figure 5's dashed arrows): the window whose profile
+    /// delay is `dest_ms`, searched within `[min_window, max_window]`.
+    ///
+    /// Semantics are a **threshold scan**, not a root find: the smallest
+    /// window at which the curve's delay reaches `dest_ms`. This matters
+    /// because the fitted curve is not guaranteed monotone — fresh points
+    /// seeded by a single sample can dent it — and Verus wants the most
+    /// conservative window consistent with the target delay. Two
+    /// boundary cases:
+    ///
+    /// * curve already at/above the target at the minimum window → the
+    ///   minimum window (back off as far as allowed);
+    /// * target above every curve value in range → the top of the range:
+    ///   no window Verus knows about costs that much delay, so probe the
+    ///   headroom (the "constant exploration mode" of §1). The range
+    ///   extends 1.5× past the largest observed window for exactly this
+    ///   upward probing.
+    ///
+    /// Returns `None` until a curve is fitted.
+    #[must_use]
+    pub fn lookup_window(&self, dest_ms: f64, min_window: f64, max_window: f64) -> Option<f64> {
+        let curve = self.curve.as_ref()?;
+        let lo = min_window.max(1.0);
+        let hi = (self.max_window_seen * 1.5 + 10.0)
+            .max(lo + 1.0)
+            .min(max_window);
+        if curve.eval(lo) >= dest_ms {
+            return Some(lo);
+        }
+        const STEPS: usize = 512;
+        const BISECTIONS: usize = 40;
+        let mut prev_w = lo;
+        for i in 1..=STEPS {
+            let w = lo + (hi - lo) * i as f64 / STEPS as f64;
+            if curve.eval(w) >= dest_ms {
+                // Refine the crossing within [prev_w, w].
+                let (mut a, mut b) = (prev_w, w);
+                for _ in 0..BISECTIONS {
+                    let m = 0.5 * (a + b);
+                    if curve.eval(m) >= dest_ms {
+                        b = m;
+                    } else {
+                        a = m;
+                    }
+                }
+                return Some(0.5 * (a + b));
+            }
+            prev_w = w;
+        }
+        Some(hi)
+    }
+
+    /// Samples the fitted curve at `n` evenly spaced windows across
+    /// `[1, max_window_seen]` (Figure 5's red line / Figure 7b's curves).
+    #[must_use]
+    pub fn curve_samples(&self, n: usize) -> Vec<(f64, f64)> {
+        let Some(curve) = self.curve.as_ref() else {
+            return Vec::new();
+        };
+        if n < 2 {
+            return Vec::new();
+        }
+        let hi = self.max_window_seen.max(2.0);
+        (0..n)
+            .map(|i| {
+                let w = 1.0 + (hi - 1.0) * i as f64 / (n - 1) as f64;
+                (w, curve.eval(w))
+            })
+            .collect()
+    }
+
+    /// Largest window observed so far.
+    #[must_use]
+    pub fn max_window_seen(&self) -> f64 {
+        self.max_window_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profiler() -> DelayProfiler {
+        DelayProfiler::new(0.875, SplineKind::Natural)
+    }
+
+    /// Feed a clean linear profile: delay = 20 + 2·W ms.
+    fn feed_linear(p: &mut DelayProfiler) {
+        for w in 1..=50u32 {
+            p.add_sample(SimTime::ZERO, f64::from(w), 20.0 + 2.0 * f64::from(w));
+        }
+        assert!(p.refit(SimTime::ZERO));
+    }
+
+    #[test]
+    fn no_lookup_before_fit() {
+        let mut p = profiler();
+        p.add_sample(SimTime::ZERO, 5.0, 30.0);
+        assert!(p.lookup_window(30.0, 1.0, 100.0).is_none());
+        assert!(!p.has_curve());
+    }
+
+    #[test]
+    fn refit_requires_two_points() {
+        let mut p = profiler();
+        p.add_sample(SimTime::ZERO, 5.0, 30.0);
+        p.add_sample(SimTime::ZERO, 5.2, 31.0); // same integer window
+        assert_eq!(p.len(), 1);
+        assert!(!p.refit(SimTime::ZERO));
+        p.add_sample(SimTime::ZERO, 10.0, 40.0);
+        assert!(p.refit(SimTime::ZERO));
+    }
+
+    #[test]
+    fn lookup_inverts_linear_profile() {
+        let mut p = profiler();
+        feed_linear(&mut p);
+        // delay 60 ms ↔ window 20
+        let w = p.lookup_window(60.0, 1.0, 1000.0).unwrap();
+        assert!((w - 20.0).abs() < 0.5, "got {w}");
+    }
+
+    #[test]
+    fn lookup_extrapolates_above_observed_range() {
+        let mut p = profiler();
+        feed_linear(&mut p); // observed up to W=50 (delay 120)
+        // Ask for delay 140 ms → extrapolated W = 60, within 1.5× headroom.
+        let w = p.lookup_window(140.0, 1.0, 1000.0).unwrap();
+        assert!(w > 50.0, "no upward probing: {w}");
+        assert!((w - 60.0).abs() < 2.0, "got {w}");
+    }
+
+    #[test]
+    fn lookup_clamps_to_bounds() {
+        let mut p = profiler();
+        feed_linear(&mut p);
+        // Target below every profile delay → floor at min_window.
+        assert_eq!(p.lookup_window(1.0, 4.0, 1000.0), Some(4.0));
+        // Target astronomically high → capped by the headroom/max rule.
+        let w = p.lookup_window(1e9, 1.0, 60.0).unwrap();
+        assert!(w <= 60.0);
+    }
+
+    #[test]
+    fn per_ack_updates_are_ewma() {
+        let mut p = DelayProfiler::new(0.5, SplineKind::Natural);
+        p.add_sample(SimTime::ZERO, 10.0, 100.0);
+        p.add_sample(SimTime::ZERO, 10.0, 50.0);
+        // 0.5·100 + 0.5·50 = 75
+        let pts = p.points();
+        assert_eq!(pts, vec![(10.0, 75.0)]);
+    }
+
+    #[test]
+    fn curve_evolves_after_refit() {
+        let mut p = profiler();
+        feed_linear(&mut p);
+        let before = p.delay_at(20.0).unwrap();
+        // Channel degrades: same windows now see much higher delay.
+        for _ in 0..40 {
+            for w in 1..=50u32 {
+                p.add_sample(SimTime::ZERO, f64::from(w), 100.0 + 4.0 * f64::from(w));
+            }
+        }
+        // Not yet refit → curve unchanged.
+        assert_eq!(p.delay_at(20.0).unwrap(), before);
+        p.refit(SimTime::ZERO);
+        let after = p.delay_at(20.0).unwrap();
+        assert!(after > before + 50.0, "{before} → {after}");
+    }
+
+    #[test]
+    fn monotone_kind_produces_monotone_curve() {
+        let mut p = DelayProfiler::new(0.875, SplineKind::Monotone);
+        // Noisy but increasing-ish profile.
+        let delays = [20.0, 22.0, 21.0, 30.0, 29.0, 45.0, 44.0, 70.0];
+        for (i, &d) in delays.iter().enumerate() {
+            p.add_sample(SimTime::ZERO, (i as f64 + 1.0) * 5.0, d);
+        }
+        assert!(p.refit(SimTime::ZERO));
+        let samples = p.curve_samples(100);
+        for w in samples.windows(2) {
+            assert!(
+                w[1].1 >= w[0].1 - 3.0,
+                "monotone curve dipped: {:?} → {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn curve_samples_cover_observed_range() {
+        let mut p = profiler();
+        feed_linear(&mut p);
+        let s = p.curve_samples(11);
+        assert_eq!(s.len(), 11);
+        assert_eq!(s[0].0, 1.0);
+        assert_eq!(s[10].0, 50.0);
+    }
+
+    #[test]
+    fn empty_profile_reports_empty() {
+        let p = profiler();
+        assert!(p.is_empty());
+        assert!(p.curve_samples(10).is_empty());
+        assert_eq!(p.max_window_seen(), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-flow measurement results.
+
+use serde::{Deserialize, Serialize};
+use verus_stats::{Summary, ThroughputSeries};
+
+/// Everything measured about one flow during a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// Protocol name ("verus", "cubic", …).
+    pub protocol: String,
+    /// Flow index within the simulation.
+    pub flow: usize,
+    /// Windowed received throughput (window from
+    /// [`crate::SimConfig::throughput_window`]).
+    pub throughput: ThroughputSeries,
+    /// Per-packet one-way delays (ms) in arrival order — the paper's
+    /// "delay" axis (self-inflicted queueing plus propagation).
+    pub delays_ms: Vec<f64>,
+    /// Packets handed to the network.
+    pub sent: u64,
+    /// Packets delivered to the receiver.
+    pub delivered: u64,
+    /// Losses declared by the transport (fast-retransmit path).
+    pub fast_losses: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// Active duration used for mean-rate computations, seconds
+    /// (simulation end minus flow start).
+    pub active_secs: f64,
+    /// For finite transfers: when the last payload byte was delivered,
+    /// seconds since *flow start* (the flow-completion time). `None` for
+    /// full-buffer flows or if the transfer did not finish.
+    pub completion_secs: Option<f64>,
+}
+
+impl FlowReport {
+    /// Mean throughput in Mbit/s over the flow's active period.
+    #[must_use]
+    pub fn mean_throughput_mbps(&self) -> f64 {
+        if self.active_secs <= 0.0 {
+            return 0.0;
+        }
+        self.throughput.mean_bps(self.active_secs) / 1e6
+    }
+
+    /// Delay summary (mean / percentiles), or `None` if nothing arrived.
+    #[must_use]
+    pub fn delay_summary(&self) -> Option<Summary> {
+        Summary::from_samples(&self.delays_ms)
+    }
+
+    /// Mean one-way delay in ms (0 when nothing arrived).
+    #[must_use]
+    pub fn mean_delay_ms(&self) -> f64 {
+        if self.delays_ms.is_empty() {
+            return 0.0;
+        }
+        self.delays_ms.iter().sum::<f64>() / self.delays_ms.len() as f64
+    }
+
+    /// Loss rate experienced (declared losses / packets sent).
+    #[must_use]
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        self.fast_losses as f64 / self.sent as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> FlowReport {
+        let mut throughput = ThroughputSeries::new(1.0);
+        throughput.record(0.5, 1_250_000); // 10 Mbit in second 0
+        throughput.record(1.5, 1_250_000); // 10 Mbit in second 1
+        FlowReport {
+            protocol: "test".into(),
+            flow: 0,
+            throughput,
+            delays_ms: vec![10.0, 20.0, 30.0],
+            sent: 100,
+            delivered: 98,
+            fast_losses: 2,
+            timeouts: 0,
+            active_secs: 2.0,
+            completion_secs: None,
+        }
+    }
+
+    #[test]
+    fn mean_throughput_uses_active_period() {
+        assert!((report().mean_throughput_mbps() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_statistics() {
+        let r = report();
+        assert_eq!(r.mean_delay_ms(), 20.0);
+        assert_eq!(r.delay_summary().unwrap().median, 20.0);
+    }
+
+    #[test]
+    fn loss_rate() {
+        assert!((report().loss_rate() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_flow_is_all_zeroes() {
+        let r = FlowReport {
+            protocol: "idle".into(),
+            flow: 1,
+            throughput: ThroughputSeries::new(1.0),
+            delays_ms: vec![],
+            sent: 0,
+            delivered: 0,
+            fast_losses: 0,
+            timeouts: 0,
+            active_secs: 0.0,
+            completion_secs: None,
+        };
+        assert_eq!(r.mean_throughput_mbps(), 0.0);
+        assert_eq!(r.mean_delay_ms(), 0.0);
+        assert_eq!(r.loss_rate(), 0.0);
+        assert!(r.delay_summary().is_none());
+    }
+}

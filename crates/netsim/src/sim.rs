@@ -1,0 +1,1022 @@
+//! The event loop.
+//!
+//! One [`Simulation`] holds the flows, the bottleneck (fixed or
+//! trace-driven) and its queue, and a time-ordered event heap. Events are
+//! processed strictly in `(time, insertion order)` order, so runs are
+//! deterministic per seed.
+//!
+//! Transport model (identical for every protocol; only the congestion
+//! controller differs):
+//!
+//! * a flow is full-buffer: whenever the controller grants quota, packets
+//!   are created, stamped with `(seq, send time, current window)` and
+//!   enqueued at the bottleneck;
+//! * the receiver ACKs every delivered packet; ACKs travel back over an
+//!   uncongested path with the flow's ACK delay (the paper's downlink
+//!   experiments assume an unloaded uplink);
+//! * loss detection is duplicate-ACK-equivalent packet counting for the
+//!   TCP-style protocols and the 3×delay gap timer of §5.2 for Verus;
+//!   an RFC 6298 RTO (with exponential backoff) backs both up;
+//! * a retransmission is a fresh packet with a fresh sequence number
+//!   (the Verus prototype's bookkeeping); since payloads are filler,
+//!   goodput equals throughput and the reports count delivered packets.
+
+use crate::bottleneck::{BottleneckConfig, FixedParams};
+use crate::config::{LossDetection, SimConfig};
+use crate::metrics::FlowReport;
+use crate::queue::{EnqueueResult, Queue, QueuedPacket};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use verus_cellular::trace::Opportunity;
+use verus_nettypes::{
+    AckEvent, CongestionControl, LossEvent, LossKind, RttEstimator, SimDuration, SimTime,
+};
+use verus_stats::ThroughputSeries;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// Flow begins sending.
+    FlowStart(usize),
+    /// Controller clock tick (Verus ε epochs, Sprout 20 ms ticks).
+    CcTick(usize),
+    /// Fixed link finished serializing the packet in service.
+    FixedDepart,
+    /// Cell link delivery opportunity (index into the looped trace).
+    CellOpportunity,
+    /// Packet reaches the receiver.
+    Deliver {
+        flow: usize,
+        seq: u64,
+        bytes: u32,
+        sent_at: SimTime,
+    },
+    /// ACK reaches the sender.
+    AckArrive {
+        flow: usize,
+        seq: u64,
+        bytes: u32,
+        sent_at: SimTime,
+        delivered_at: SimTime,
+    },
+    /// Verus-style reordering timer for a specific hole.
+    GapTimer { flow: usize, seq: u64 },
+    /// Retransmission-timeout check.
+    RtoCheck(usize),
+    /// Fixed-link parameter step (index into the schedule).
+    ParamChange(usize),
+    /// Observer callback.
+    Observe,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    time: SimTime,
+    tie: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.tie).cmp(&(other.time, other.tie))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PacketMeta {
+    sent_at: SimTime,
+    send_window: f64,
+    /// ACKs seen for later sequence numbers (duplicate-ACK equivalent).
+    later_acks: u32,
+    /// Armed gap timer, if any.
+    gap_deadline: Option<SimTime>,
+}
+
+struct FlowState {
+    cc: Box<dyn CongestionControl>,
+    start: SimTime,
+    extra_fwd_delay: SimDuration,
+    extra_ack_delay: SimDuration,
+    packet_bytes: u32,
+    loss_detection: LossDetection,
+    /// Finite-transfer limit (bytes) and completion bookkeeping.
+    transfer_bytes: Option<u64>,
+    delivered_bytes: u64,
+    completed_at: Option<SimTime>,
+    started: bool,
+    next_seq: u64,
+    outstanding: BTreeMap<u64, PacketMeta>,
+    rtt: RttEstimator,
+    rto_deadline: Option<SimTime>,
+    rto_retries: u32,
+    // metrics
+    throughput: ThroughputSeries,
+    delays_ms: Vec<f64>,
+    sent: u64,
+    delivered: u64,
+    fast_losses: u64,
+    timeouts: u64,
+}
+
+enum Service {
+    Fixed {
+        schedule: Vec<(SimTime, FixedParams)>,
+        current: FixedParams,
+        busy: bool,
+    },
+    Cell {
+        opportunities: Vec<Opportunity>,
+        next_index: usize,
+        base_duration: SimDuration,
+        loop_offset: SimDuration,
+        /// Accumulated byte credit while the queue is backlogged.
+        credit: u64,
+        base_rtt: SimDuration,
+        loss: f64,
+    },
+}
+
+/// A configured, runnable simulation.
+pub struct Simulation {
+    now: SimTime,
+    end: SimTime,
+    heap: BinaryHeap<Reverse<Event>>,
+    tie: u64,
+    flows: Vec<FlowState>,
+    queue: Queue,
+    service: Service,
+    rng: StdRng,
+}
+
+impl Simulation {
+    /// Builds a simulation from a validated configuration.
+    pub fn new(config: SimConfig) -> Result<Self, String> {
+        config.validate()?;
+        let end = SimTime::ZERO + config.duration;
+        let window_s = config.throughput_window.as_secs_f64();
+        let flows: Vec<FlowState> = config
+            .flows
+            .into_iter()
+            .map(|f| FlowState {
+                cc: f.cc,
+                start: f.start,
+                extra_fwd_delay: f.extra_fwd_delay,
+                extra_ack_delay: f.extra_ack_delay,
+                packet_bytes: f.packet_bytes,
+                loss_detection: f.loss_detection,
+                transfer_bytes: f.transfer_bytes,
+                delivered_bytes: 0,
+                completed_at: None,
+                started: false,
+                next_seq: 0,
+                outstanding: BTreeMap::new(),
+                rtt: RttEstimator::default(),
+                rto_deadline: None,
+                rto_retries: 0,
+                throughput: ThroughputSeries::new(window_s),
+                delays_ms: Vec::new(),
+                sent: 0,
+                delivered: 0,
+                fast_losses: 0,
+                timeouts: 0,
+            })
+            .collect();
+
+        let service = match config.bottleneck {
+            BottleneckConfig::Fixed { schedule } => Service::Fixed {
+                current: schedule[0].1,
+                schedule,
+                busy: false,
+            },
+            BottleneckConfig::Cell {
+                trace,
+                base_rtt,
+                loss,
+            } => Service::Cell {
+                base_duration: trace.duration().max(SimDuration::from_nanos(1)),
+                opportunities: trace.opportunities().to_vec(),
+                next_index: 0,
+                loop_offset: SimDuration::ZERO,
+                credit: 0,
+                base_rtt,
+                loss,
+            },
+        };
+
+        let mut sim = Self {
+            now: SimTime::ZERO,
+            end,
+            heap: BinaryHeap::new(),
+            tie: 0,
+            flows,
+            queue: Queue::new(config.queue),
+            service,
+            rng: StdRng::seed_from_u64(config.seed),
+        };
+
+        for i in 0..sim.flows.len() {
+            let start = sim.flows[i].start;
+            sim.schedule(start, EventKind::FlowStart(i));
+        }
+        if let Service::Fixed { ref schedule, .. } = sim.service {
+            let steps: Vec<(usize, SimTime)> = schedule
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, (t, _))| (i, *t))
+                .collect();
+            for (i, t) in steps {
+                sim.schedule(t, EventKind::ParamChange(i));
+            }
+        }
+        if let Service::Cell {
+            ref opportunities, ..
+        } = sim.service
+        {
+            let first = opportunities[0].time;
+            sim.schedule(first, EventKind::CellOpportunity);
+        }
+        Ok(sim)
+    }
+
+    fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        self.tie += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            tie: self.tie,
+            kind,
+        }));
+    }
+
+    /// Runs to completion and returns per-flow reports.
+    pub fn run(self) -> Vec<FlowReport> {
+        self.run_observed(SimDuration::MAX, |_, _| {})
+    }
+
+    /// Runs to completion, invoking `observer` every `interval` with the
+    /// current time and the flows' controllers (for live sampling of
+    /// protocol internals, e.g. Verus' delay profile for Figure 7b).
+    pub fn run_observed<F>(mut self, interval: SimDuration, mut observer: F) -> Vec<FlowReport>
+    where
+        F: FnMut(SimTime, &[&dyn CongestionControl]),
+    {
+        if interval < self.end.saturating_since(SimTime::ZERO) {
+            self.schedule(SimTime::ZERO + interval, EventKind::Observe);
+        }
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            if ev.time > self.end {
+                break;
+            }
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::Observe => {
+                    let ccs: Vec<&dyn CongestionControl> =
+                        self.flows.iter().map(|f| f.cc.as_ref()).collect();
+                    observer(self.now, &ccs);
+                    let next = self.now + interval;
+                    self.schedule(next, EventKind::Observe);
+                }
+                other => self.dispatch(other),
+            }
+        }
+        let end_secs = self.end.as_secs_f64();
+        self.flows
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| FlowReport {
+                protocol: f.cc.name().to_string(),
+                flow: i,
+                throughput: f.throughput,
+                delays_ms: f.delays_ms,
+                sent: f.sent,
+                delivered: f.delivered,
+                fast_losses: f.fast_losses,
+                timeouts: f.timeouts,
+                active_secs: (end_secs - f.start.as_secs_f64()).max(0.0),
+                completion_secs: f
+                    .completed_at
+                    .map(|t| t.saturating_since(f.start).as_secs_f64()),
+            })
+            .collect()
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::FlowStart(i) => {
+                self.flows[i].started = true;
+                if let Some(tick) = self.flows[i].cc.tick_interval() {
+                    self.schedule(self.now + tick, EventKind::CcTick(i));
+                }
+                self.pump(i);
+            }
+            EventKind::CcTick(i) => {
+                let now = self.now;
+                self.flows[i].cc.on_tick(now);
+                if let Some(tick) = self.flows[i].cc.tick_interval() {
+                    self.schedule(self.now + tick, EventKind::CcTick(i));
+                }
+                self.pump(i);
+            }
+            EventKind::FixedDepart => self.on_fixed_depart(),
+            EventKind::CellOpportunity => self.on_cell_opportunity(),
+            EventKind::Deliver {
+                flow,
+                seq,
+                bytes,
+                sent_at,
+            } => {
+                let f = &mut self.flows[flow];
+                f.delivered += 1;
+                f.delivered_bytes += u64::from(bytes);
+                if let Some(limit) = f.transfer_bytes {
+                    if f.completed_at.is_none() && f.delivered_bytes >= limit {
+                        f.completed_at = Some(self.now);
+                    }
+                }
+                let delay = self.now.saturating_since(sent_at);
+                f.delays_ms.push(delay.as_millis_f64());
+                f.throughput
+                    .record(self.now.as_secs_f64(), u64::from(bytes));
+                // Receiver ACKs immediately; ACK path is uncongested.
+                let ack_at = self.now + self.ack_delay(flow);
+                self.schedule(
+                    ack_at,
+                    EventKind::AckArrive {
+                        flow,
+                        seq,
+                        bytes,
+                        sent_at,
+                        delivered_at: self.now,
+                    },
+                );
+            }
+            EventKind::AckArrive {
+                flow,
+                seq,
+                bytes,
+                sent_at,
+                delivered_at,
+            } => self.on_ack(flow, seq, bytes, sent_at, delivered_at),
+            EventKind::GapTimer { flow, seq } => {
+                let f = &mut self.flows[flow];
+                let fire = match f.outstanding.get(&seq) {
+                    Some(meta) => meta.gap_deadline == Some(self.now),
+                    None => false,
+                };
+                if fire {
+                    self.declare_fast_loss(flow, seq);
+                    self.pump(flow);
+                }
+            }
+            EventKind::RtoCheck(i) => self.on_rto_check(i),
+            EventKind::ParamChange(idx) => {
+                if let Service::Fixed {
+                    ref schedule,
+                    ref mut current,
+                    ..
+                } = self.service
+                {
+                    *current = schedule[idx].1;
+                }
+            }
+            EventKind::Observe => unreachable!("handled in run_observed"),
+        }
+    }
+
+    // ---- path delays -------------------------------------------------
+
+    fn base_rtt(&self) -> SimDuration {
+        match &self.service {
+            Service::Fixed { current, .. } => current.base_rtt,
+            Service::Cell { base_rtt, .. } => *base_rtt,
+        }
+    }
+
+    fn fwd_delay(&self, flow: usize) -> SimDuration {
+        self.base_rtt() / 2 + self.flows[flow].extra_fwd_delay
+    }
+
+    fn ack_delay(&self, flow: usize) -> SimDuration {
+        let rtt = self.base_rtt();
+        (rtt - rtt / 2) + self.flows[flow].extra_ack_delay
+    }
+
+    fn loss_prob(&self) -> f64 {
+        match &self.service {
+            Service::Fixed { current, .. } => current.loss,
+            Service::Cell { loss, .. } => *loss,
+        }
+    }
+
+    // ---- sending ------------------------------------------------------
+
+    /// Sends as many packets as the controller currently allows (bounded
+    /// by the remaining transfer size for finite flows).
+    fn pump(&mut self, flow: usize) {
+        if !self.flows[flow].started {
+            return;
+        }
+        loop {
+            let f = &self.flows[flow];
+            // Finite transfer: stop creating new packets once every byte
+            // has been handed to the network.
+            if let Some(limit) = f.transfer_bytes {
+                let sent_bytes = f.sent * u64::from(f.packet_bytes);
+                if sent_bytes >= limit {
+                    break;
+                }
+            }
+            let in_flight = f.outstanding.len();
+            let now = self.now;
+            let quota = self.flows[flow].cc.quota(now, in_flight);
+            if quota == 0 {
+                break;
+            }
+            let remaining_pkts = match self.flows[flow].transfer_bytes {
+                Some(limit) => {
+                    let f = &self.flows[flow];
+                    let sent_bytes = f.sent * u64::from(f.packet_bytes);
+                    (limit.saturating_sub(sent_bytes)).div_ceil(u64::from(f.packet_bytes))
+                        as usize
+                }
+                None => usize::MAX,
+            };
+            for _ in 0..quota.min(remaining_pkts) {
+                self.send_packet(flow);
+            }
+            if remaining_pkts <= quota {
+                break;
+            }
+        }
+    }
+
+    fn send_packet(&mut self, flow: usize) {
+        let now = self.now;
+        let f = &mut self.flows[flow];
+        let seq = f.next_seq;
+        f.next_seq += 1;
+        let bytes = f.packet_bytes;
+        let meta = PacketMeta {
+            sent_at: now,
+            send_window: f.cc.window().max(1.0),
+            later_acks: 0,
+            gap_deadline: None,
+        };
+        f.outstanding.insert(seq, meta);
+        f.sent += 1;
+        f.cc.on_packet_sent(now, seq, u64::from(bytes));
+        if f.rto_deadline.is_none() {
+            let deadline = now + f.rtt.rto();
+            f.rto_deadline = Some(deadline);
+            self.schedule(deadline, EventKind::RtoCheck(flow));
+        }
+        // Stochastic (radio) loss happens before the queue: the packet
+        // simply never arrives; the sender finds out via its detectors.
+        let p = self.loss_prob();
+        if p > 0.0 && self.rng.gen::<f64>() < p {
+            return;
+        }
+        let uniform = self.rng.gen::<f64>();
+        let accepted = self.queue.enqueue(
+            QueuedPacket {
+                flow,
+                seq,
+                bytes,
+                enqueued: now,
+            },
+            uniform,
+        );
+        if accepted == EnqueueResult::Queued {
+            self.maybe_start_fixed_service();
+        }
+    }
+
+    // ---- bottleneck service --------------------------------------------
+
+    /// Fixed link: if idle and the queue is backlogged, begin serializing
+    /// the head packet.
+    fn maybe_start_fixed_service(&mut self) {
+        let Service::Fixed {
+            current,
+            ref mut busy,
+            ..
+        } = self.service
+        else {
+            return;
+        };
+        if *busy || self.queue.is_empty() {
+            return;
+        }
+        *busy = true;
+        let bytes = self.queue.peek_bytes().expect("non-empty queue");
+        let done = self.now + current.serialize_time(bytes);
+        self.schedule(done, EventKind::FixedDepart);
+    }
+
+    fn on_fixed_depart(&mut self) {
+        let pkt = self
+            .queue
+            .dequeue()
+            .expect("departure from empty queue");
+        if let Service::Fixed { ref mut busy, .. } = self.service {
+            *busy = false;
+        }
+        let deliver_at = self.now + self.fwd_delay(pkt.flow);
+        // Reconstruct sender metadata for the delivery event.
+        let sent_at = self.flows[pkt.flow]
+            .outstanding
+            .get(&pkt.seq)
+            .map(|m| m.sent_at)
+            .unwrap_or(pkt.enqueued);
+        self.schedule(
+            deliver_at,
+            EventKind::Deliver {
+                flow: pkt.flow,
+                seq: pkt.seq,
+                bytes: pkt.bytes,
+                sent_at,
+            },
+        );
+        self.maybe_start_fixed_service();
+    }
+
+    /// Cell link: one delivery opportunity releases queued bytes.
+    fn on_cell_opportunity(&mut self) {
+        // Phase 1: drain the queue using the opportunity's byte budget.
+        let mut deliveries: Vec<QueuedPacket> = Vec::new();
+        {
+            let Service::Cell {
+                ref opportunities,
+                ref mut next_index,
+                ref base_duration,
+                ref mut loop_offset,
+                ref mut credit,
+                ..
+            } = self.service
+            else {
+                return;
+            };
+            let opp = opportunities[*next_index];
+            // Credit accumulates only against a backlog; capacity cannot
+            // be banked while there is nothing to send (mahimahi
+            // semantics).
+            if self.queue.is_empty() {
+                *credit = 0;
+            } else {
+                *credit += u64::from(opp.bytes);
+                while let Some(head) = self.queue.peek_bytes() {
+                    if u64::from(head) <= *credit {
+                        let pkt = self.queue.dequeue().expect("peeked");
+                        *credit -= u64::from(head);
+                        deliveries.push(pkt);
+                    } else {
+                        break;
+                    }
+                }
+                if self.queue.is_empty() {
+                    *credit = 0;
+                }
+            }
+            // Schedule the next opportunity (looping the trace).
+            *next_index += 1;
+            if *next_index >= opportunities.len() {
+                *next_index = 0;
+                *loop_offset += *base_duration;
+            }
+            let next_time = opportunities[*next_index].time + *loop_offset;
+            let t = next_time.max(self.now);
+            self.schedule(t, EventKind::CellOpportunity);
+        }
+        // Phase 2: schedule deliveries.
+        for pkt in deliveries {
+            let deliver_at = self.now + self.fwd_delay(pkt.flow);
+            let sent_at = self.flows[pkt.flow]
+                .outstanding
+                .get(&pkt.seq)
+                .map(|m| m.sent_at)
+                .unwrap_or(pkt.enqueued);
+            self.schedule(
+                deliver_at,
+                EventKind::Deliver {
+                    flow: pkt.flow,
+                    seq: pkt.seq,
+                    bytes: pkt.bytes,
+                    sent_at,
+                },
+            );
+        }
+    }
+
+    // ---- receiving ACKs ------------------------------------------------
+
+    fn on_ack(
+        &mut self,
+        flow: usize,
+        seq: u64,
+        bytes: u32,
+        sent_at: SimTime,
+        delivered_at: SimTime,
+    ) {
+        let now = self.now;
+        let rtt = now.saturating_since(sent_at);
+        let one_way = delivered_at.saturating_since(sent_at);
+
+        // A stale ACK for a packet we already declared lost: the
+        // controller has been told it was lost, so no CC events — but the
+        // RTT sample is still valid (per-packet send timestamps make
+        // Karn's ambiguity impossible here) and feeding it is what stops
+        // a spurious-timeout spiral: after an RTO clears the window, the
+        // estimator must keep learning that the path is slow.
+        let Some(meta) = self.flows[flow].outstanding.remove(&seq) else {
+            self.flows[flow].rtt.on_sample(rtt);
+            return;
+        };
+        {
+            let f = &mut self.flows[flow];
+            f.rtt.on_sample(rtt);
+            f.rto_retries = 0;
+            // Restart the RTO from this ACK.
+            f.rto_deadline = if f.outstanding.is_empty() {
+                None
+            } else {
+                Some(now + f.rtt.rto())
+            };
+            f.cc.on_ack(
+                now,
+                &AckEvent {
+                    seq,
+                    bytes: u64::from(bytes),
+                    rtt,
+                    delay: one_way,
+                    send_window: meta.send_window,
+                },
+            );
+        }
+        if let Some(deadline) = self.flows[flow].rto_deadline {
+            self.schedule(deadline, EventKind::RtoCheck(flow));
+        }
+
+        // Loss detection on the holes below this ACK.
+        let mut condemned: Vec<u64> = Vec::new();
+        let mut to_arm: Vec<(u64, SimTime)> = Vec::new();
+        {
+            let f = &mut self.flows[flow];
+            let detection = f.loss_detection;
+            let srtt = f.rtt.srtt_or(SimDuration::from_millis(200));
+            for (&hole, m) in f.outstanding.range_mut(..seq) {
+                match detection {
+                    LossDetection::PacketThreshold { threshold } => {
+                        m.later_acks += 1;
+                        if m.later_acks >= threshold {
+                            condemned.push(hole);
+                        }
+                    }
+                    LossDetection::GapTimer { factor } => {
+                        if m.gap_deadline.is_none() {
+                            let deadline = now + srtt.mul_f64(factor);
+                            m.gap_deadline = Some(deadline);
+                            to_arm.push((hole, deadline));
+                        }
+                    }
+                }
+            }
+        }
+        for (hole, deadline) in to_arm {
+            self.schedule(deadline, EventKind::GapTimer { flow, seq: hole });
+        }
+        for hole in condemned {
+            self.declare_fast_loss(flow, hole);
+        }
+        self.pump(flow);
+    }
+
+    fn declare_fast_loss(&mut self, flow: usize, seq: u64) {
+        let now = self.now;
+        let f = &mut self.flows[flow];
+        let Some(meta) = f.outstanding.remove(&seq) else {
+            return;
+        };
+        f.fast_losses += 1;
+        f.cc.on_loss(
+            now,
+            &LossEvent {
+                seq,
+                send_window: meta.send_window,
+                kind: LossKind::FastRetransmit,
+            },
+        );
+    }
+
+    fn on_rto_check(&mut self, flow: usize) {
+        let now = self.now;
+        let fire = {
+            let f = &self.flows[flow];
+            f.rto_deadline == Some(now) && !f.outstanding.is_empty()
+        };
+        if !fire {
+            return;
+        }
+        let f = &mut self.flows[flow];
+        f.timeouts += 1;
+        f.rto_retries += 1;
+        let (&oldest, meta) = f.outstanding.iter().next().expect("non-empty");
+        let send_window = meta.send_window;
+        // TCP-equivalent state reset: everything outstanding is treated
+        // as lost; the controller hears one Timeout event.
+        f.outstanding.clear();
+        f.cc.on_loss(
+            now,
+            &LossEvent {
+                seq: oldest,
+                send_window,
+                kind: LossKind::Timeout,
+            },
+        );
+        // Re-arm with exponential backoff once the retransmission (from
+        // pump below) goes out; pump's arming path would use the plain
+        // RTO, so pre-arm here.
+        let backoff = f.rtt.backed_off_rto(f.rto_retries);
+        let deadline = now + backoff;
+        f.rto_deadline = Some(deadline);
+        self.schedule(deadline, EventKind::RtoCheck(flow));
+        self.pump(flow);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueConfig;
+    use verus_nettypes::FixedWindow;
+
+    fn fixed_sim(
+        rate_bps: f64,
+        rtt_ms: u64,
+        loss: f64,
+        flows: Vec<crate::config::FlowConfig>,
+        secs: u64,
+        seed: u64,
+    ) -> Vec<FlowReport> {
+        let config = SimConfig {
+            bottleneck: BottleneckConfig::fixed(
+                rate_bps,
+                SimDuration::from_millis(rtt_ms),
+                loss,
+            ),
+            queue: QueueConfig::deep_droptail(),
+            flows,
+            duration: SimDuration::from_secs(secs),
+            seed,
+            throughput_window: SimDuration::from_secs(1),
+        };
+        Simulation::new(config).unwrap().run()
+    }
+
+    #[test]
+    fn fixed_window_flow_is_rate_limited_by_window() {
+        // W=10, RTT=100 ms, 1400 B packets → ~10 pkt/RTT = 1.12 Mbit/s,
+        // far below the 100 Mbit/s link.
+        let flows = vec![crate::config::FlowConfig::new(Box::new(FixedWindow::new(
+            10,
+        )))];
+        let reports = fixed_sim(100e6, 100, 0.0, flows, 20, 1);
+        let mbps = reports[0].mean_throughput_mbps();
+        assert!((mbps - 1.12).abs() < 0.15, "throughput {mbps} Mbit/s");
+        assert_eq!(reports[0].fast_losses, 0);
+        assert_eq!(reports[0].timeouts, 0);
+    }
+
+    #[test]
+    fn fixed_window_flow_saturates_slow_link() {
+        // Window big enough to fill 5 Mbit/s at 40 ms RTT.
+        let flows = vec![crate::config::FlowConfig::new(Box::new(FixedWindow::new(
+            200,
+        )))];
+        let reports = fixed_sim(5e6, 40, 0.0, flows, 20, 2);
+        let mbps = reports[0].mean_throughput_mbps();
+        assert!(mbps > 4.5 && mbps <= 5.05, "throughput {mbps} Mbit/s");
+        // The standing queue shows up as delay well above base RTT/2.
+        assert!(reports[0].mean_delay_ms() > 40.0);
+    }
+
+    #[test]
+    fn one_way_delay_includes_queueing() {
+        let small = vec![crate::config::FlowConfig::new(Box::new(FixedWindow::new(
+            2,
+        )))];
+        let r_small = fixed_sim(10e6, 50, 0.0, small, 10, 3);
+        // With 2 packets in flight over a fast link, delay ≈ prop = 25 ms.
+        let d = r_small[0].mean_delay_ms();
+        assert!((d - 25.0).abs() < 5.0, "delay {d} ms");
+    }
+
+    #[test]
+    fn stochastic_loss_triggers_detection() {
+        let flows = vec![crate::config::FlowConfig::new(Box::new(FixedWindow::new(
+            50,
+        )))];
+        let reports = fixed_sim(10e6, 40, 0.02, flows, 20, 4);
+        assert!(
+            reports[0].fast_losses > 10,
+            "expected detected losses, got {}",
+            reports[0].fast_losses
+        );
+        // FixedWindow keeps sending, so the flow should still move data.
+        assert!(reports[0].mean_throughput_mbps() > 1.0);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let run = |seed| {
+            let flows = vec![crate::config::FlowConfig::new(Box::new(
+                FixedWindow::new(30),
+            ))];
+            let r = fixed_sim(8e6, 60, 0.01, flows, 10, seed);
+            (r[0].sent, r[0].delivered, r[0].fast_losses)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn two_flows_share_the_bottleneck() {
+        let flows = vec![
+            crate::config::FlowConfig::new(Box::new(FixedWindow::new(100))),
+            crate::config::FlowConfig::new(Box::new(FixedWindow::new(100))),
+        ];
+        let reports = fixed_sim(10e6, 40, 0.0, flows, 30, 5);
+        let a = reports[0].mean_throughput_mbps();
+        let b = reports[1].mean_throughput_mbps();
+        assert!((a + b) > 9.0, "sum {a}+{b}");
+        assert!((a - b).abs() < 2.0, "unfair split {a} vs {b}");
+    }
+
+    #[test]
+    fn param_change_takes_effect() {
+        // 1 Mbit/s for 5 s, then 10 Mbit/s for 5 s.
+        let p1 = FixedParams {
+            rate_bps: 1e6,
+            loss: 0.0,
+            base_rtt: SimDuration::from_millis(20),
+        };
+        let p2 = FixedParams {
+            rate_bps: 10e6,
+            ..p1
+        };
+        let config = SimConfig {
+            bottleneck: BottleneckConfig::Fixed {
+                schedule: vec![(SimTime::ZERO, p1), (SimTime::from_secs(5), p2)],
+            },
+            queue: QueueConfig::deep_droptail(),
+            flows: vec![crate::config::FlowConfig::new(Box::new(FixedWindow::new(
+                400,
+            )))],
+            duration: SimDuration::from_secs(10),
+            seed: 6,
+            throughput_window: SimDuration::from_secs(1),
+        };
+        let reports = Simulation::new(config).unwrap().run();
+        let series = reports[0].throughput.series_mbps();
+        let early: f64 = series[1..4].iter().map(|&(_, v)| v).sum::<f64>() / 3.0;
+        let late: f64 = series[6..9].iter().map(|&(_, v)| v).sum::<f64>() / 3.0;
+        assert!(early < 1.2, "early {early}");
+        assert!(late > 5.0, "late {late}");
+    }
+
+    #[test]
+    fn cell_link_caps_at_trace_rate() {
+        use verus_cellular::{OperatorModel, Scenario};
+        let trace = Scenario::CampusStationary
+            .generate_trace(
+                OperatorModel::Etisalat3G,
+                SimDuration::from_secs(10),
+                42,
+            )
+            .unwrap();
+        let cap_mbps = trace.mean_rate_bps() / 1e6;
+        let config = SimConfig {
+            bottleneck: BottleneckConfig::Cell {
+                trace,
+                base_rtt: SimDuration::from_millis(40),
+                loss: 0.0,
+            },
+            queue: QueueConfig::paper_red(),
+            flows: vec![crate::config::FlowConfig::new(Box::new(FixedWindow::new(
+                500,
+            )))],
+            duration: SimDuration::from_secs(20),
+            seed: 9,
+            throughput_window: SimDuration::from_secs(1),
+        };
+        let reports = Simulation::new(config).unwrap().run();
+        let mbps = reports[0].mean_throughput_mbps();
+        assert!(
+            mbps <= cap_mbps * 1.05,
+            "throughput {mbps} exceeds trace capacity {cap_mbps}"
+        );
+        assert!(mbps > cap_mbps * 0.5, "throughput {mbps} far below {cap_mbps}");
+    }
+
+    #[test]
+    fn rto_fires_when_link_dies() {
+        // Loss = 100% after t=1s is impossible with one schedule entry, so
+        // use an absurdly slow second phase instead: effectively dead.
+        let p1 = FixedParams {
+            rate_bps: 10e6,
+            loss: 0.0,
+            base_rtt: SimDuration::from_millis(20),
+        };
+        let p2 = FixedParams {
+            rate_bps: 10e6,
+            loss: 1.0,
+            ..p1
+        };
+        let config = SimConfig {
+            bottleneck: BottleneckConfig::Fixed {
+                schedule: vec![(SimTime::ZERO, p1), (SimTime::from_secs(2), p2)],
+            },
+            queue: QueueConfig::deep_droptail(),
+            flows: vec![crate::config::FlowConfig::new(Box::new(FixedWindow::new(
+                20,
+            )))],
+            duration: SimDuration::from_secs(10),
+            seed: 10,
+            throughput_window: SimDuration::from_secs(1),
+        };
+        let reports = Simulation::new(config).unwrap().run();
+        assert!(reports[0].timeouts > 0, "no RTO fired on dead link");
+    }
+
+    #[test]
+    fn finite_transfer_completes_and_stops() {
+        let flows = vec![crate::config::FlowConfig::new(Box::new(FixedWindow::new(
+            20,
+        )))
+        .with_transfer(140_000)]; // exactly 100 packets of 1400 B
+        let config = SimConfig {
+            bottleneck: BottleneckConfig::fixed(10e6, SimDuration::from_millis(20), 0.0),
+            queue: QueueConfig::deep_droptail(),
+            flows,
+            duration: SimDuration::from_secs(10),
+            seed: 21,
+            throughput_window: SimDuration::from_secs(1),
+        };
+        let reports = Simulation::new(config).unwrap().run();
+        let r = &reports[0];
+        assert_eq!(r.sent, 100, "sent exactly the transfer size");
+        assert_eq!(r.delivered, 100);
+        let fct = r.completion_secs.expect("transfer finished");
+        // 1.12 Mbit over 10 Mbit/s plus ~6 RTT-limited rounds ≈ 0.1–0.3 s.
+        assert!(fct > 0.05 && fct < 1.0, "FCT {fct}");
+    }
+
+    #[test]
+    fn unfinished_transfer_has_no_completion_time() {
+        let flows = vec![crate::config::FlowConfig::new(Box::new(FixedWindow::new(
+            2,
+        )))
+        .with_transfer(100_000_000)]; // far more than 2 s can carry
+        let config = SimConfig {
+            bottleneck: BottleneckConfig::fixed(1e6, SimDuration::from_millis(20), 0.0),
+            queue: QueueConfig::deep_droptail(),
+            flows,
+            duration: SimDuration::from_secs(2),
+            seed: 22,
+            throughput_window: SimDuration::from_secs(1),
+        };
+        let reports = Simulation::new(config).unwrap().run();
+        assert!(reports[0].completion_secs.is_none());
+        assert!(reports[0].delivered > 0);
+    }
+
+    #[test]
+    fn observer_is_invoked_periodically() {
+        let flows = vec![crate::config::FlowConfig::new(Box::new(FixedWindow::new(
+            5,
+        )))];
+        let config = SimConfig {
+            bottleneck: BottleneckConfig::fixed(10e6, SimDuration::from_millis(20), 0.0),
+            queue: QueueConfig::deep_droptail(),
+            flows,
+            duration: SimDuration::from_secs(5),
+            seed: 11,
+            throughput_window: SimDuration::from_secs(1),
+        };
+        let mut calls = 0;
+        let _ = Simulation::new(config)
+            .unwrap()
+            .run_observed(SimDuration::from_secs(1), |_, ccs| {
+                calls += 1;
+                assert_eq!(ccs.len(), 1);
+                assert_eq!(ccs[0].name(), "fixed");
+            });
+        assert_eq!(calls, 5);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the simulator: conservation laws and
+//! determinism must hold for any configuration proptest can dream up.
+
+use proptest::prelude::*;
+use verus_netsim::queue::QueueConfig;
+use verus_netsim::{BottleneckConfig, FlowConfig, SimConfig, Simulation};
+use verus_nettypes::{FixedWindow, SimDuration, SimTime};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    rate_mbps: f64,
+    rtt_ms: u64,
+    loss: f64,
+    windows: Vec<usize>,
+    starts_ms: Vec<u64>,
+    droptail_kb: u64,
+    seed: u64,
+    secs: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        0.5f64..50.0,
+        2u64..200,
+        0.0f64..0.05,
+        proptest::collection::vec(1usize..80, 1..4),
+        0u64..5_000,
+        30u64..2_000,
+        0u64..1_000,
+        3u64..8,
+    )
+        .prop_map(
+            |(rate_mbps, rtt_ms, loss, windows, start0, droptail_kb, seed, secs)| Scenario {
+                rate_mbps,
+                rtt_ms,
+                loss,
+                starts_ms: (0..windows.len() as u64).map(|i| start0 + i * 500).collect(),
+                windows,
+                droptail_kb,
+                seed,
+                secs,
+            },
+        )
+}
+
+fn run(s: &Scenario) -> Vec<verus_netsim::FlowReport> {
+    let flows = s
+        .windows
+        .iter()
+        .zip(&s.starts_ms)
+        .map(|(&w, &start)| {
+            FlowConfig::new(Box::new(FixedWindow::new(w)))
+                .starting_at(SimTime::from_millis(start))
+        })
+        .collect();
+    let config = SimConfig {
+        bottleneck: BottleneckConfig::fixed(
+            s.rate_mbps * 1e6,
+            SimDuration::from_millis(s.rtt_ms),
+            s.loss,
+        ),
+        queue: QueueConfig::DropTail {
+            capacity_bytes: s.droptail_kb * 1000,
+        },
+        flows,
+        duration: SimDuration::from_secs(s.secs),
+        seed: s.seed,
+        throughput_window: SimDuration::from_secs(1),
+    };
+    Simulation::new(config).expect("valid config").run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: nothing is delivered that wasn't sent; delay samples
+    /// are finite and at least the one-way propagation.
+    #[test]
+    fn conservation_and_delay_floor(s in scenario()) {
+        let reports = run(&s);
+        let min_one_way = s.rtt_ms as f64 / 2.0;
+        for r in &reports {
+            prop_assert!(r.delivered <= r.sent, "flow {}: {} delivered > {} sent",
+                r.flow, r.delivered, r.sent);
+            prop_assert_eq!(r.delivered as usize, r.delays_ms.len());
+            for &d in &r.delays_ms {
+                prop_assert!(d.is_finite());
+                prop_assert!(d >= min_one_way - 0.51,
+                    "delay {d} below propagation floor {min_one_way}");
+            }
+            prop_assert!(r.fast_losses + r.delivered <= r.sent + 1,
+                "losses + delivered exceed sent");
+        }
+    }
+
+    /// Link capacity is never exceeded (aggregate goodput ≤ rate, with
+    /// slack for the first in-flight window draining after t=0).
+    #[test]
+    fn capacity_is_respected(s in scenario()) {
+        let reports = run(&s);
+        let total_bytes: u64 = reports
+            .iter()
+            .map(|r| r.throughput.total_bytes())
+            .sum();
+        let capacity_bytes = s.rate_mbps * 1e6 / 8.0 * s.secs as f64;
+        let slack = 2.0 * 1400.0 * s.windows.iter().sum::<usize>() as f64;
+        prop_assert!(
+            (total_bytes as f64) <= capacity_bytes + slack,
+            "delivered {total_bytes} B over a {capacity_bytes} B capacity"
+        );
+    }
+
+    /// Bit-identical determinism for arbitrary configurations.
+    #[test]
+    fn determinism(s in scenario()) {
+        let a: Vec<_> = run(&s)
+            .iter()
+            .map(|r| (r.sent, r.delivered, r.fast_losses, r.timeouts, r.delays_ms.len()))
+            .collect();
+        let b: Vec<_> = run(&s)
+            .iter()
+            .map(|r| (r.sent, r.delivered, r.fast_losses, r.timeouts, r.delays_ms.len()))
+            .collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// With zero loss and a buffer bigger than the sum of windows, a
+    /// FixedWindow flow loses nothing.
+    #[test]
+    fn lossless_when_buffer_fits_all_windows(
+        rate_mbps in 1.0f64..20.0,
+        rtt_ms in 5u64..100,
+        windows in proptest::collection::vec(1usize..40, 1..3),
+        seed in 0u64..100,
+    ) {
+        let buffer = windows.iter().sum::<usize>() as u64 * 1500 + 10_000;
+        let flows = windows
+            .iter()
+            .map(|&w| FlowConfig::new(Box::new(FixedWindow::new(w))))
+            .collect();
+        let config = SimConfig {
+            bottleneck: BottleneckConfig::fixed(
+                rate_mbps * 1e6,
+                SimDuration::from_millis(rtt_ms),
+                0.0,
+            ),
+            queue: QueueConfig::DropTail { capacity_bytes: buffer },
+            flows,
+            duration: SimDuration::from_secs(5),
+            seed,
+            throughput_window: SimDuration::from_secs(1),
+        };
+        let reports = Simulation::new(config).unwrap().run();
+        for r in &reports {
+            prop_assert_eq!(r.fast_losses, 0, "flow {} lost packets", r.flow);
+            prop_assert_eq!(r.timeouts, 0, "flow {} timed out", r.flow);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! End-to-end protocol runs over the simulator — the repo's core sanity
+//! checks that the paper's qualitative results emerge.
+
+use verus_baselines::{Cubic, NewReno, Sprout, Vegas};
+use verus_cellular::{OperatorModel, Scenario};
+use verus_core::VerusCc;
+use verus_netsim::queue::QueueConfig;
+use verus_netsim::{BottleneckConfig, FlowConfig, SimConfig, Simulation};
+use verus_nettypes::{CongestionControl, SimDuration, SimTime};
+
+fn run_one(
+    cc: Box<dyn CongestionControl>,
+    bottleneck: BottleneckConfig,
+    queue: QueueConfig,
+    secs: u64,
+    seed: u64,
+) -> verus_netsim::FlowReport {
+    let config = SimConfig {
+        bottleneck,
+        queue,
+        flows: vec![FlowConfig::new(cc)],
+        duration: SimDuration::from_secs(secs),
+        seed,
+        throughput_window: SimDuration::from_secs(1),
+    };
+    Simulation::new(config).unwrap().run().remove(0)
+}
+
+fn fixed(rate_mbps: f64, rtt_ms: u64) -> BottleneckConfig {
+    BottleneckConfig::fixed(
+        rate_mbps * 1e6,
+        SimDuration::from_millis(rtt_ms),
+        0.0,
+    )
+}
+
+#[test]
+fn cubic_fills_a_fixed_pipe() {
+    let r = run_one(
+        Box::new(Cubic::new()),
+        fixed(10.0, 40),
+        QueueConfig::deep_droptail(),
+        30,
+        1,
+    );
+    let mbps = r.mean_throughput_mbps();
+    assert!(mbps > 8.0, "cubic got {mbps} Mbit/s on a 10 Mbit/s link");
+}
+
+#[test]
+fn newreno_fills_a_fixed_pipe() {
+    let r = run_one(
+        Box::new(NewReno::new()),
+        fixed(10.0, 40),
+        QueueConfig::deep_droptail(),
+        30,
+        2,
+    );
+    let mbps = r.mean_throughput_mbps();
+    assert!(mbps > 7.0, "newreno got {mbps} Mbit/s");
+}
+
+#[test]
+fn vegas_keeps_delay_low_on_fixed_pipe() {
+    let r = run_one(
+        Box::new(Vegas::new()),
+        fixed(10.0, 40),
+        QueueConfig::deep_droptail(),
+        30,
+        3,
+    );
+    // Vegas targets 2–4 queued packets: delay ≈ prop (20 ms) + a few ms.
+    let d = r.mean_delay_ms();
+    assert!(d < 40.0, "vegas delay {d} ms");
+    assert!(r.mean_throughput_mbps() > 6.0);
+}
+
+#[test]
+fn verus_fills_pipe_with_bounded_delay() {
+    let r = run_one(
+        Box::new(VerusCc::default()),
+        fixed(10.0, 40),
+        QueueConfig::deep_droptail(),
+        30,
+        4,
+    );
+    let mbps = r.mean_throughput_mbps();
+    let d = r.mean_delay_ms();
+    assert!(mbps > 5.0, "verus got {mbps} Mbit/s");
+    // R=2 bounds Dmax near 2×Dmin; delay must stay well under bufferbloat
+    // levels (cubic on this link builds hundreds of ms, see below).
+    assert!(d < 150.0, "verus delay {d} ms");
+}
+
+#[test]
+fn sprout_moves_data_on_fixed_pipe() {
+    let r = run_one(
+        Box::new(Sprout::default()),
+        fixed(10.0, 40),
+        QueueConfig::deep_droptail(),
+        30,
+        5,
+    );
+    assert!(
+        r.mean_throughput_mbps() > 3.0,
+        "sprout got {} Mbit/s",
+        r.mean_throughput_mbps()
+    );
+}
+
+/// The paper's headline (Figure 8): on a cellular channel, Verus achieves
+/// comparable throughput to Cubic at roughly an order of magnitude lower
+/// delay.
+#[test]
+fn verus_vs_cubic_on_cellular_trace() {
+    let trace = Scenario::CampusStationary
+        .generate_trace(OperatorModel::Etisalat3G, SimDuration::from_secs(60), 77)
+        .unwrap();
+    let cell = |trace: verus_cellular::Trace| BottleneckConfig::Cell {
+        trace,
+        base_rtt: SimDuration::from_millis(40),
+        loss: 0.0,
+    };
+    let verus = run_one(
+        Box::new(VerusCc::default()),
+        cell(trace.clone()),
+        QueueConfig::deep_droptail(),
+        60,
+        6,
+    );
+    let cubic = run_one(
+        Box::new(Cubic::new()),
+        cell(trace),
+        QueueConfig::deep_droptail(),
+        60,
+        6,
+    );
+    let (vt, vd) = (verus.mean_throughput_mbps(), verus.mean_delay_ms());
+    let (ct, cd) = (cubic.mean_throughput_mbps(), cubic.mean_delay_ms());
+    println!("verus: {vt:.2} Mbit/s @ {vd:.0} ms; cubic: {ct:.2} Mbit/s @ {cd:.0} ms");
+    // Throughput comparable: Verus within 60–120% of Cubic.
+    assert!(vt > 0.6 * ct, "verus throughput {vt} too far below cubic {ct}");
+    // Delay dramatically lower: at least 3× (paper reports ~10×).
+    assert!(vd * 3.0 < cd, "verus delay {vd} not well below cubic {cd}");
+}
+
+/// Verus flows converge to a fair share (Figure 12's property).
+#[test]
+fn verus_intra_fairness_two_flows() {
+    let config = SimConfig {
+        bottleneck: fixed(20.0, 40),
+        queue: QueueConfig::deep_droptail(),
+        flows: vec![
+            FlowConfig::new(Box::new(VerusCc::default())),
+            FlowConfig::new(Box::new(VerusCc::default()))
+                .starting_at(SimTime::from_secs(10)),
+        ],
+        duration: SimDuration::from_secs(60),
+        seed: 7,
+        throughput_window: SimDuration::from_secs(1),
+    };
+    let reports = Simulation::new(config).unwrap().run();
+    // Compare rates over the shared tail (last 30 s).
+    let tail_rate = |r: &verus_netsim::FlowReport| {
+        let s = r.throughput.series_mbps();
+        let tail: Vec<f64> = s
+            .iter()
+            .filter(|(t, _)| *t >= 30.0)
+            .map(|&(_, v)| v)
+            .collect();
+        tail.iter().sum::<f64>() / tail.len().max(1) as f64
+    };
+    let a = tail_rate(&reports[0]);
+    let b = tail_rate(&reports[1]);
+    assert!(a + b > 10.0, "under-utilization: {a} + {b}");
+    let ratio = a.max(b) / a.min(b).max(0.01);
+    assert!(ratio < 3.0, "unfair split {a} vs {b}");
+}
+
+/// Sprout's 18 Mbit/s implementation cap (Figure 11a's explanation).
+#[test]
+fn sprout_capped_at_18mbps_on_fast_link() {
+    let r = run_one(
+        Box::new(Sprout::default()),
+        fixed(100.0, 20),
+        QueueConfig::deep_droptail(),
+        30,
+        8,
+    );
+    let mbps = r.mean_throughput_mbps();
+    assert!(mbps < 19.0, "sprout exceeded its cap: {mbps} Mbit/s");
+}
+
+/// Verus is not capped: it uses fast links (Figure 11a).
+#[test]
+fn verus_exceeds_sprout_cap_on_fast_link() {
+    let r = run_one(
+        Box::new(VerusCc::default()),
+        fixed(100.0, 20),
+        QueueConfig::deep_droptail(),
+        30,
+        9,
+    );
+    let mbps = r.mean_throughput_mbps();
+    assert!(mbps > 25.0, "verus only reached {mbps} Mbit/s on 100 Mbit/s");
+}

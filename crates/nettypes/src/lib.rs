@@ -1,0 +1,31 @@
+//! Shared network types for the Verus reproduction.
+//!
+//! Everything that more than one crate needs lives here so that the
+//! protocol implementations (`verus-core`, `verus-baselines`), the
+//! discrete-event simulator (`verus-netsim`) and the real-socket transport
+//! (`verus-transport`) agree on:
+//!
+//! * [`time`] — nanosecond-resolution simulation time ([`SimTime`],
+//!   [`SimDuration`]). The simulator advances it logically; the UDP
+//!   transport maps it onto the wall clock;
+//! * [`packet`] — the wire format of data packets and acknowledgments,
+//!   mirroring the fields the Verus prototype carries (sequence number,
+//!   sender timestamp, the sending window the packet was sent under);
+//! * [`rtt`] — RFC 6298 smoothed RTT / RTO estimation, used by the
+//!   transport endpoints of every protocol;
+//! * [`cc`] — the [`CongestionControl`] trait. The paper compares five
+//!   protocols (Verus, Sprout, Cubic, NewReno, Vegas); they all plug into
+//!   the same transport through this trait.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod packet;
+pub mod rtt;
+pub mod time;
+
+pub use cc::{AckEvent, CongestionControl, FixedWindow, LossEvent, LossKind};
+pub use packet::{AckPacket, DataPacket, WireDecodeError};
+pub use rtt::RttEstimator;
+pub use time::{SimDuration, SimTime};

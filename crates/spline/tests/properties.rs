@@ -1,0 +1,99 @@
+//! Property-based tests for the spline substrate (delay-profile invariants).
+
+use proptest::prelude::*;
+use verus_spline::{Curve, MonotoneCubic, NaturalCubic};
+
+/// Strategy: strictly increasing x with arbitrary finite y.
+fn knots(max_n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.01f64..5.0, -100.0f64..100.0), 2..max_n).prop_map(|steps| {
+        let mut x = 0.0;
+        steps
+            .into_iter()
+            .map(|(dx, y)| {
+                x += dx;
+                (x, y)
+            })
+            .collect()
+    })
+}
+
+/// Strategy: strictly increasing x AND non-decreasing y (a delay profile).
+fn monotone_knots(max_n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.01f64..5.0, 0.0f64..20.0), 2..max_n).prop_map(|steps| {
+        let mut x = 0.0;
+        let mut y = 10.0;
+        steps
+            .into_iter()
+            .map(|(dx, dy)| {
+                x += dx;
+                y += dy;
+                (x, y)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Both interpolants pass exactly through every knot.
+    #[test]
+    fn interpolation_property(ks in knots(24)) {
+        let nat = NaturalCubic::fit(&ks).unwrap();
+        let mono = MonotoneCubic::fit(&ks).unwrap();
+        for &(x, y) in &ks {
+            prop_assert!((nat.eval(x) - y).abs() < 1e-6 * (1.0 + y.abs()));
+            prop_assert!((mono.eval(x) - y).abs() < 1e-6 * (1.0 + y.abs()));
+        }
+    }
+
+    /// Fritsch–Carlson preserves monotonicity of monotone data everywhere.
+    #[test]
+    fn monotone_preserved(ks in monotone_knots(24)) {
+        let s = MonotoneCubic::fit(&ks).unwrap();
+        let (lo, hi) = s.domain();
+        let mut prev = s.eval(lo);
+        for i in 1..=500 {
+            let x = lo + (hi - lo) * i as f64 / 500.0;
+            let y = s.eval(x);
+            prop_assert!(y >= prev - 1e-9, "dropped at {x}");
+            prev = y;
+        }
+    }
+
+    /// solve_x on a monotone profile returns a window whose delay matches
+    /// the target whenever the target lies inside the curve's range —
+    /// the exact operation the Verus window estimator performs per epoch.
+    #[test]
+    fn inverse_lookup_round_trip(ks in monotone_knots(24), frac in 0.0f64..=1.0) {
+        let s = MonotoneCubic::fit(&ks).unwrap();
+        let (lo, hi) = s.domain();
+        let (ylo, yhi) = (s.eval(lo), s.eval(hi));
+        let target = ylo + (yhi - ylo) * frac;
+        let x = s.solve_x(target, lo, hi);
+        prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9);
+        prop_assert!((s.eval(x) - target).abs() < 1e-6 * (1.0 + target.abs()),
+            "f({x}) = {} != {target}", s.eval(x));
+    }
+
+    /// Natural-spline evaluation is finite everywhere on (and around) the
+    /// domain for any valid knots — no NaN poisoning of the profile.
+    #[test]
+    fn natural_eval_is_finite(ks in knots(24)) {
+        let s = NaturalCubic::fit(&ks).unwrap();
+        let (lo, hi) = s.domain();
+        for i in 0..=100 {
+            let x = lo - 5.0 + (hi - lo + 10.0) * i as f64 / 100.0;
+            prop_assert!(s.eval(x).is_finite());
+        }
+    }
+
+    /// Outside the knots both splines extrapolate linearly (second
+    /// differences vanish).
+    #[test]
+    fn extrapolation_linear(ks in knots(16)) {
+        let nat = NaturalCubic::fit(&ks).unwrap();
+        let (_, hi) = nat.domain();
+        let f = |x: f64| nat.eval(x);
+        let second_diff = f(hi + 3.0) - 2.0 * f(hi + 2.0) + f(hi + 1.0);
+        prop_assert!(second_diff.abs() < 1e-6);
+    }
+}

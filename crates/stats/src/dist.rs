@@ -1,0 +1,341 @@
+//! Random-variate sampling for the synthetic channel models.
+//!
+//! The cellular substrate (crate `verus-cellular`) draws burst sizes,
+//! inter-arrival gaps, shadowing processes and loss events from a small set
+//! of distributions. `rand` 0.8 only ships uniform/Bernoulli sampling, so
+//! the classical transforms are implemented here:
+//!
+//! * [`Normal`] — Box–Muller (the cached-second-variate variant);
+//! * [`LogNormal`] — `exp` of a normal;
+//! * [`Exponential`] — inverse CDF;
+//! * [`Poisson`] — Knuth's product method for small means, with a
+//!   normal approximation above `mean > 60` (the channel models draw
+//!   per-TTI packet counts whose mean can reach the hundreds);
+//! * [`Pareto`] — inverse CDF, used for heavy-tailed burst sizes.
+//!
+//! All samplers are deterministic given a seeded RNG, which keeps the whole
+//! evaluation pipeline reproducible run-to-run.
+
+use rand::Rng;
+
+/// Common interface: a distribution that can produce `f64` samples.
+pub trait Sample {
+    /// Draws one variate using `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+}
+
+/// Normal (Gaussian) distribution via the Box–Muller transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Panics
+    /// Panics if `std_dev` is negative or either parameter is non-finite.
+    #[must_use]
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite(), "normal mean must be finite");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "normal std-dev must be finite and non-negative, got {std_dev}"
+        );
+        Self { mean, std_dev }
+    }
+
+    /// Draws a standard-normal variate.
+    pub fn standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // Box–Muller: u1 must avoid 0 so ln(u1) is finite.
+        let u1: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Sample for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Self::standard(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+///
+/// `mu`/`sigma` are the parameters of the *underlying normal*, the usual
+/// convention. Burst inter-arrival gaps in the channel models are
+/// log-normal, matching the long right tail of Figure 2b.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with underlying normal `N(mu, sigma)`.
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        Self {
+            norm: Normal::new(mu, sigma),
+        }
+    }
+
+    /// Creates a log-normal from the desired *median* and `sigma`.
+    ///
+    /// The median of `exp(N(mu, sigma))` is `exp(mu)`, so this is just a
+    /// more readable constructor for channel-model code.
+    #[must_use]
+    pub fn from_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "log-normal median must be positive");
+        Self::new(median.ln(), sigma)
+    }
+}
+
+impl Sample for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `lambda > 0`.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "exponential rate must be positive, got {lambda}"
+        );
+        Self { lambda }
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    #[must_use]
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        Self::new(1.0 / mean)
+    }
+}
+
+impl Sample for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        -u.ln() / self.lambda
+    }
+}
+
+/// Poisson distribution over non-negative integers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    mean: f64,
+}
+
+impl Poisson {
+    /// Mean above which the normal approximation is used instead of Knuth's
+    /// product method (which needs `O(mean)` uniforms per draw).
+    const NORMAL_APPROX_THRESHOLD: f64 = 60.0;
+
+    /// Creates a Poisson distribution with the given mean `>= 0`.
+    #[must_use]
+    pub fn new(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "poisson mean must be non-negative, got {mean}"
+        );
+        Self { mean }
+    }
+
+    /// Draws an integer-valued sample.
+    pub fn sample_u64<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.mean == 0.0 {
+            return 0;
+        }
+        if self.mean > Self::NORMAL_APPROX_THRESHOLD {
+            // Normal approximation with continuity correction.
+            let x = self.mean + self.mean.sqrt() * Normal::standard(rng) + 0.5;
+            return x.max(0.0) as u64;
+        }
+        // Knuth: multiply uniforms until the product drops below e^-mean.
+        let threshold = (-self.mean).exp();
+        let mut k: u64 = 0;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= threshold {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+impl Sample for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.sample_u64(rng) as f64
+    }
+}
+
+/// Pareto (type I) distribution with scale `x_min` and shape `alpha`.
+///
+/// Used for heavy-tailed burst sizes: cellular schedulers occasionally hand
+/// a user many TTIs in a row, producing the multi-decade burst-size PDF of
+/// Figure 2a.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with scale `x_min > 0`, shape `alpha > 0`.
+    #[must_use]
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0, "pareto scale must be positive");
+        assert!(alpha > 0.0, "pareto shape must be positive");
+        Self { x_min, alpha }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        self.x_min / u.powf(1.0 / self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::running::Running;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments<D: Sample>(d: &D, n: usize, seed: u64) -> Running {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut r = Running::new();
+        for _ in 0..n {
+            r.push(d.sample(&mut rng));
+        }
+        r
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let r = moments(&Normal::new(5.0, 2.0), 200_000, 1);
+        assert!((r.mean() - 5.0).abs() < 0.05, "mean {}", r.mean());
+        assert!((r.std_dev() - 2.0).abs() < 0.05, "std {}", r.std_dev());
+    }
+
+    #[test]
+    fn zero_std_normal_is_constant() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Normal::new(3.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 3.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_matches() {
+        let d = LogNormal::from_median(10.0, 0.8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut samples: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 10.0).abs() / 10.0 < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let d = LogNormal::new(0.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let r = moments(&Exponential::from_mean(7.5), 200_000, 5);
+        assert!((r.mean() - 7.5).abs() < 0.1, "mean {}", r.mean());
+    }
+
+    #[test]
+    fn poisson_small_mean_moments() {
+        let d = Poisson::new(3.2);
+        let r = moments(&d, 200_000, 6);
+        assert!((r.mean() - 3.2).abs() < 0.05, "mean {}", r.mean());
+        // Poisson variance equals the mean.
+        assert!((r.variance() - 3.2).abs() < 0.15, "var {}", r.variance());
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx() {
+        let d = Poisson::new(500.0);
+        let r = moments(&d, 100_000, 7);
+        assert!((r.mean() - 500.0).abs() < 1.0, "mean {}", r.mean());
+        assert!(
+            (r.variance() - 500.0).abs() < 20.0,
+            "var {}",
+            r.variance()
+        );
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(Poisson::new(0.0).sample_u64(&mut rng), 0);
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let d = Pareto::new(2.0, 1.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn pareto_mean_matches_when_it_exists() {
+        // mean = alpha * x_min / (alpha - 1) for alpha > 1.
+        let d = Pareto::new(1.0, 3.0);
+        let r = moments(&d, 400_000, 10);
+        assert!((r.mean() - 1.5).abs() < 0.02, "mean {}", r.mean());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = Normal::new(0.0, 1.0);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..32).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..32).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

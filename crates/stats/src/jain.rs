@@ -1,0 +1,91 @@
+//! Jain's fairness index (paper Eq. 7).
+//!
+//! `f(x₁..xₙ) = (Σxᵢ)² / (n · Σxᵢ²)`, ranging from `1/n` (one user takes
+//! everything) to `1` (perfect fairness). Table 1 reports this index,
+//! computed over one-second throughput windows and then averaged; that
+//! windowed protocol lives in [`crate::timeseries`], the pure index here.
+
+/// Computes Jain's fairness index over per-user allocations.
+///
+/// ```
+/// use verus_stats::jain_index;
+/// assert_eq!(jain_index(&[5.0, 5.0]), Some(1.0));            // perfect
+/// assert_eq!(jain_index(&[10.0, 0.0]), Some(0.5));           // worst for n=2
+/// assert!((jain_index(&[1.0, 2.0, 3.0]).unwrap() - 6.0/7.0).abs() < 1e-12);
+/// ```
+///
+/// Returns `None` for an empty slice or when every allocation is zero
+/// (the index is undefined: 0/0).
+///
+/// # Panics
+/// Panics on negative or non-finite allocations — throughputs are
+/// non-negative by construction, so these indicate harness bugs.
+#[must_use]
+pub fn jain_index(allocations: &[f64]) -> Option<f64> {
+    if allocations.is_empty() {
+        return None;
+    }
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for &x in allocations {
+        assert!(
+            x.is_finite() && x >= 0.0,
+            "Jain index needs non-negative finite allocations, got {x}"
+        );
+        sum += x;
+        sum_sq += x * x;
+    }
+    if sum_sq == 0.0 {
+        return None;
+    }
+    Some(sum * sum / (allocations.len() as f64 * sum_sq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fairness_is_one() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_user_is_one() {
+        assert_eq!(jain_index(&[3.0]), Some(1.0));
+    }
+
+    #[test]
+    fn worst_case_is_one_over_n() {
+        let idx = jain_index(&[10.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((idx - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // Jain's classic example: allocations (1,2,3) → 36 / (3·14) ≈ 0.857.
+        let idx = jain_index(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((idx - 36.0 / 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 7.0]).unwrap();
+        let b = jain_index(&[10.0, 20.0, 70.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_all_zero_are_none() {
+        assert_eq!(jain_index(&[]), None);
+        assert_eq!(jain_index(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn bounded_between_one_over_n_and_one() {
+        let xs = [0.1, 3.4, 2.2, 9.9, 0.0, 1.0];
+        let idx = jain_index(&xs).unwrap();
+        assert!(idx >= 1.0 / xs.len() as f64 - 1e-12);
+        assert!(idx <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,145 @@
+//! Percentiles and five-number summaries.
+//!
+//! Sprout's control law is built on the 5th percentile of a forecast
+//! distribution, and the evaluation reports median/95th-percentile delays;
+//! both use the linear-interpolation quantile estimator implemented here
+//! (type 7 in the Hyndman–Fan taxonomy, the default of R and NumPy).
+
+use serde::{Deserialize, Serialize};
+
+/// Computes the `q`-quantile (`0 ≤ q ≤ 1`) of `data` by sorting a copy.
+///
+/// Returns `None` for empty input. NaN values are rejected by panic since
+/// they indicate a harness bug upstream.
+#[must_use]
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Computes the `q`-quantile of already-sorted data (ascending).
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// A summary of a sample: count, mean, standard deviation and the
+/// quantiles the paper's plots report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile (the delay statistic Sprout optimizes for).
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Builds a summary from raw samples. Returns `None` when empty.
+    #[must_use]
+    pub fn from_samples(data: &[f64]) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Some(Self {
+            count: sorted.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            p25: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            p75: quantile_sorted(&sorted, 0.75),
+            p95: quantile_sorted(&sorted, 0.95),
+            max: *sorted.last().unwrap(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_gives_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert!(Summary::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(quantile(&[7.0], 1.0), Some(7.0));
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5), Some(2.0));
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0], 0.5), Some(2.5));
+    }
+
+    #[test]
+    fn linear_interpolation_between_order_stats() {
+        // quartiles of 1..=5 under type-7: p25 = 2, p75 = 4.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.25), Some(2.0));
+        assert_eq!(quantile(&xs, 0.75), Some(4.0));
+        // and an interior non-grid point.
+        assert!((quantile(&xs, 0.1).unwrap() - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extremes_are_min_max() {
+        let xs = [9.0, -3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(-3.0));
+        assert_eq!(quantile(&xs, 1.0), Some(9.0));
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::from_samples(&xs).unwrap();
+        assert_eq!(s.count, 100);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.5).abs() < 1e-12);
+        assert!(s.p25 < s.median && s.median < s.p75 && s.p75 < s.p95);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_out_of_range_q() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use verus_stats::{jain_index, quantile, Ewma, Running, Summary};
+
+proptest! {
+    /// EWMA output always lies between the previous value and the sample.
+    #[test]
+    fn ewma_stays_bracketed(
+        alpha in 0.01f64..=1.0,
+        samples in proptest::collection::vec(-1e6f64..1e6, 1..64)
+    ) {
+        let mut e = Ewma::new(alpha);
+        let mut prev: Option<f64> = None;
+        for &s in &samples {
+            let v = e.update(s);
+            if let Some(p) = prev {
+                let lo = p.min(s) - 1e-9;
+                let hi = p.max(s) + 1e-9;
+                prop_assert!(v >= lo && v <= hi, "v={v} not in [{lo},{hi}]");
+            } else {
+                prop_assert_eq!(v, s);
+            }
+            prev = Some(v);
+        }
+    }
+
+    /// Jain's index is always within [1/n, 1] when defined.
+    #[test]
+    fn jain_is_bounded(xs in proptest::collection::vec(0.0f64..1e9, 1..32)) {
+        if let Some(idx) = jain_index(&xs) {
+            let n = xs.len() as f64;
+            prop_assert!(idx >= 1.0 / n - 1e-9);
+            prop_assert!(idx <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Jain's index is invariant under positive scaling.
+    #[test]
+    fn jain_scale_invariant(
+        xs in proptest::collection::vec(0.0f64..1e6, 2..16),
+        k in 0.001f64..1e3
+    ) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        match (jain_index(&xs), jain_index(&scaled)) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+            (None, None) => {}
+            _ => prop_assert!(false, "definedness changed under scaling"),
+        }
+    }
+
+    /// Quantile is monotone in q and bracketed by min/max.
+    #[test]
+    fn quantile_monotone(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..64),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0
+    ) {
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, qa).unwrap();
+        let b = quantile(&xs, qb).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        let mn = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mx = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= mn - 1e-9 && b <= mx + 1e-9);
+    }
+
+    /// Welford mean/variance match the two-pass computation.
+    #[test]
+    fn running_matches_two_pass(xs in proptest::collection::vec(-1e4f64..1e4, 1..128)) {
+        let mut r = Running::new();
+        for &x in &xs { r.push(x); }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert!((r.mean() - mean).abs() < 1e-6);
+        prop_assert!((r.variance() - var).abs() < 1e-4);
+    }
+
+    /// Summary quantiles are ordered min ≤ p25 ≤ median ≤ p75 ≤ p95 ≤ max.
+    #[test]
+    fn summary_is_ordered(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s = Summary::from_samples(&xs).unwrap();
+        prop_assert!(s.min <= s.p25 + 1e-9);
+        prop_assert!(s.p25 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p75 + 1e-9);
+        prop_assert!(s.p75 <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.max + 1e-9);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+    }
+}

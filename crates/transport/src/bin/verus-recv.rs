@@ -1,0 +1,44 @@
+//! `verus-recv` — the receiver application (paper §5's receiver).
+//!
+//! Binds a UDP socket, timestamps every Verus data packet and echoes an
+//! ACK. Run it on the far side of a real or emulated channel, then point
+//! `verus-send` at it. Runs until killed, printing a per-second summary.
+//!
+//! ```bash
+//! verus-recv [bind_addr] [--quiet]     # default bind 0.0.0.0:9000
+//! ```
+
+use verus_transport::{Receiver, WallClock};
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let bind = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "0.0.0.0:9000".to_string());
+
+    let clock = WallClock::new();
+    let rx = Receiver::spawn(&bind, clock)?;
+    eprintln!("verus-recv listening on {}", rx.local_addr());
+
+    let mut last_packets = 0u64;
+    let mut last_bytes = 0u64;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        let packets = rx.received();
+        let bytes = rx.bytes();
+        if !quiet {
+            eprintln!(
+                "{:>8} pkt/s  {:>8.3} Mbit/s  (total {} packets, {:.2} MB)",
+                packets - last_packets,
+                (bytes - last_bytes) as f64 * 8.0 / 1e6,
+                packets,
+                bytes as f64 / 1e6,
+            );
+        }
+        last_packets = packets;
+        last_bytes = bytes;
+    }
+}

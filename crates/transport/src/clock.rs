@@ -1,0 +1,75 @@
+//! Wall-clock to [`SimTime`] mapping.
+//!
+//! The congestion controllers and packet formats all speak
+//! [`SimTime`]/[`SimDuration`]; on real sockets those are nanoseconds
+//! since the transfer started. Sharing one `WallClock` between sender,
+//! receiver and emulator threads (they all live in one process in the
+//! emulated testbed) gives synchronized clocks — the paper's measurement
+//! setup performed clock synchronization for the same reason: one-way
+//! delay needs a common timebase.
+
+use std::time::Instant;
+use verus_nettypes::SimTime;
+
+/// A shared epoch for converting `Instant`s to [`SimTime`].
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WallClock {
+    /// Starts a clock at "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Current time on this clock.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(
+            u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        )
+    }
+
+    /// Current time in microseconds (the packet-header unit).
+    #[must_use]
+    pub fn now_micros(&self) -> u64 {
+        self.now().as_micros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn copies_share_the_epoch() {
+        let c = WallClock::new();
+        let d = c;
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let a = c.now();
+        let b = d.now();
+        // Both read the same epoch: readings are within a scheduling
+        // quantum of each other.
+        let diff = b.as_nanos().abs_diff(a.as_nanos());
+        assert!(diff < 50_000_000, "clocks diverged by {diff} ns");
+        assert!(a.as_millis() >= 5);
+    }
+}

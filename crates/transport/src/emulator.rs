@@ -1,0 +1,412 @@
+//! The trace-driven UDP channel emulator — the mahimahi substitute.
+//!
+//! The paper's trace-driven experiments replay recorded cellular
+//! delivery opportunities against real protocol endpoints (mahimahi's
+//! `mm-link` does this between Linux network namespaces; the paper's
+//! OPNET shaper does it in simulation). This emulator does the same for
+//! plain UDP sockets:
+//!
+//! ```text
+//! sender ──▶ [ingress socket]  queue (DropTail, stochastic loss)
+//!                    │   release at each trace opportunity (+ fwd delay)
+//!                    ▼
+//!             [egress socket] ──▶ receiver
+//!             [egress socket] ◀── ACKs
+//!                    │   fixed ACK-path delay
+//!                    ▼
+//! sender ◀── [ingress socket]
+//! ```
+//!
+//! One thread owns both sockets and a small timing wheel; delivery
+//! opportunities come from a looped [`Trace`]. Byte credit accumulates
+//! only while the queue is backlogged, exactly like the simulator's cell
+//! link, so both testbeds implement the same channel semantics.
+
+use crate::clock::WallClock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use verus_cellular::Trace;
+use verus_nettypes::{SimDuration, SimTime};
+
+/// Emulator configuration.
+#[derive(Debug, Clone)]
+pub struct EmulatorConfig {
+    /// Delivery-opportunity trace (looped for the emulator's lifetime).
+    pub trace: Trace,
+    /// Where to forward data packets (the receiver).
+    pub receiver: SocketAddr,
+    /// One-way forward propagation delay added after each opportunity.
+    pub fwd_delay: SimDuration,
+    /// ACK-path delay.
+    pub ack_delay: SimDuration,
+    /// Stochastic loss probability on the data path.
+    pub loss: f64,
+    /// DropTail buffer capacity in bytes.
+    pub queue_capacity: u64,
+    /// RNG seed for loss decisions.
+    pub seed: u64,
+}
+
+impl EmulatorConfig {
+    /// Defaults: 20 ms each way, no stochastic loss, 1 MiB buffer.
+    #[must_use]
+    pub fn new(trace: Trace, receiver: SocketAddr) -> Self {
+        Self {
+            trace,
+            receiver,
+            fwd_delay: SimDuration::from_millis(20),
+            ack_delay: SimDuration::from_millis(20),
+            loss: 0.0,
+            queue_capacity: 1 << 20,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct Timed {
+    at: SimTime,
+    tie: u64,
+    to_receiver: bool,
+    payload: Vec<u8>,
+}
+
+impl Ord for Timed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.tie).cmp(&(other.at, other.tie))
+    }
+}
+
+impl PartialOrd for Timed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A running emulator thread.
+pub struct EmulatorHandle {
+    stop: Arc<AtomicBool>,
+    forwarded: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+    ingress_addr: SocketAddr,
+}
+
+/// The emulator factory.
+pub struct Emulator;
+
+impl Emulator {
+    /// Spawns the emulator; senders should address
+    /// [`EmulatorHandle::ingress_addr`].
+    pub fn spawn(config: EmulatorConfig, clock: WallClock) -> std::io::Result<EmulatorHandle> {
+        let ingress = UdpSocket::bind("127.0.0.1:0")?;
+        let egress = UdpSocket::bind("127.0.0.1:0")?;
+        let ingress_addr = ingress.local_addr()?;
+        ingress.set_read_timeout(Some(Duration::from_micros(300)))?;
+        egress.set_nonblocking(true)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let forwarded = Arc::new(AtomicU64::new(0));
+        let dropped = Arc::new(AtomicU64::new(0));
+        let t_stop = Arc::clone(&stop);
+        let t_forwarded = Arc::clone(&forwarded);
+        let t_dropped = Arc::clone(&dropped);
+
+        let thread = std::thread::Builder::new()
+            .name("verus-emulator".into())
+            .spawn(move || {
+                run_loop(
+                    &config, clock, &ingress, &egress, &t_stop, &t_forwarded, &t_dropped,
+                );
+            })
+            .expect("spawn emulator thread");
+
+        Ok(EmulatorHandle {
+            stop,
+            forwarded,
+            dropped,
+            thread: Some(thread),
+            ingress_addr,
+        })
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_loop(
+    config: &EmulatorConfig,
+    clock: WallClock,
+    ingress: &UdpSocket,
+    egress: &UdpSocket,
+    stop: &AtomicBool,
+    forwarded: &AtomicU64,
+    dropped: &AtomicU64,
+) {
+    let opportunities = config.trace.opportunities();
+    let base = config.trace.duration().max(SimDuration::from_nanos(1));
+    let start = clock.now();
+    let mut opp_index = 0usize;
+    let mut loop_offset = SimDuration::ZERO;
+    let mut credit: u64 = 0;
+
+    let mut queue: VecDeque<Vec<u8>> = VecDeque::new();
+    let mut backlog: u64 = 0;
+    let mut delay_line: BinaryHeap<Reverse<Timed>> = BinaryHeap::new();
+    let mut tie = 0u64;
+    let mut sender_addr: Option<SocketAddr> = None;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut buf = [0u8; 65_536];
+
+    while !stop.load(Ordering::Relaxed) {
+        let now = clock.now();
+
+        // 1. Fire due delivery opportunities.
+        loop {
+            let opp = opportunities[opp_index];
+            let opp_at = start + (opp.time.saturating_since(SimTime::ZERO) + loop_offset);
+            if now < opp_at {
+                break;
+            }
+            if queue.is_empty() {
+                credit = 0;
+            } else {
+                credit += u64::from(opp.bytes);
+                while let Some(head) = queue.front() {
+                    if head.len() as u64 <= credit {
+                        let payload = queue.pop_front().expect("peeked");
+                        credit -= payload.len() as u64;
+                        backlog -= payload.len() as u64;
+                        tie += 1;
+                        delay_line.push(Reverse(Timed {
+                            at: now + config.fwd_delay,
+                            tie,
+                            to_receiver: true,
+                            payload,
+                        }));
+                    } else {
+                        break;
+                    }
+                }
+                if queue.is_empty() {
+                    credit = 0;
+                }
+            }
+            opp_index += 1;
+            if opp_index >= opportunities.len() {
+                opp_index = 0;
+                loop_offset += base;
+            }
+        }
+
+        // 2. Release packets from the delay line.
+        while let Some(Reverse(head)) = delay_line.peek() {
+            if head.at > now {
+                break;
+            }
+            let Reverse(item) = delay_line.pop().expect("peeked");
+            if item.to_receiver {
+                if egress.send_to(&item.payload, config.receiver).is_ok() {
+                    forwarded.fetch_add(1, Ordering::Relaxed);
+                }
+            } else if let Some(addr) = sender_addr {
+                let _ = ingress.send_to(&item.payload, addr);
+            }
+        }
+
+        // 3. Ingest data packets from the sender (bounded batch).
+        for _ in 0..64 {
+            match ingress.recv_from(&mut buf) {
+                Ok((n, src)) => {
+                    sender_addr = Some(src);
+                    if config.loss > 0.0 && rng.gen::<f64>() < config.loss {
+                        dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if backlog + n as u64 > config.queue_capacity {
+                        dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    backlog += n as u64;
+                    queue.push_back(buf[..n].to_vec());
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(_) => return,
+            }
+        }
+
+        // 4. Ingest ACKs from the receiver.
+        for _ in 0..64 {
+            match egress.recv_from(&mut buf) {
+                Ok((n, _src)) => {
+                    tie += 1;
+                    delay_line.push(Reverse(Timed {
+                        at: clock.now() + config.ack_delay,
+                        tie,
+                        to_receiver: false,
+                        payload: buf[..n].to_vec(),
+                    }));
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(_) => return,
+            }
+        }
+        // ingress' 300 µs read timeout paces the loop.
+    }
+}
+
+impl EmulatorHandle {
+    /// Address senders should transmit to.
+    #[must_use]
+    pub fn ingress_addr(&self) -> SocketAddr {
+        self.ingress_addr
+    }
+
+    /// Data packets forwarded to the receiver so far.
+    #[must_use]
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Data packets dropped (stochastic loss + queue overflow).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Stops the emulator and joins its thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for EmulatorHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::UdpSocket;
+    use std::time::Duration;
+    use verus_nettypes::DataPacket;
+
+    fn tiny_trace(mbps: f64) -> Trace {
+        // One opportunity per ms at the requested rate, 2 s long.
+        let bytes = (mbps * 1e6 / 8.0 / 1000.0) as u32;
+        Trace::from_times(
+            "tiny",
+            (0..2000u64).map(verus_nettypes::SimTime::from_millis),
+            bytes.max(1),
+        )
+        .unwrap()
+    }
+
+    fn data_packet(seq: u64) -> Vec<u8> {
+        DataPacket {
+            flow: 1,
+            seq,
+            send_time_us: 0,
+            send_window: 4.0,
+            payload_len: 1200,
+        }
+        .encode()
+        .to_vec()
+    }
+
+    #[test]
+    fn forwards_data_to_receiver_after_fwd_delay() {
+        let clock = WallClock::new();
+        let sink = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sink.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut config = EmulatorConfig::new(tiny_trace(8.0), sink.local_addr().unwrap());
+        config.fwd_delay = SimDuration::from_millis(30);
+        let emu = Emulator::spawn(config, clock).unwrap();
+
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let sent_at = std::time::Instant::now();
+        tx.send_to(&data_packet(1), emu.ingress_addr()).unwrap();
+
+        let mut buf = [0u8; 2048];
+        let (n, _) = sink.recv_from(&mut buf).unwrap();
+        let elapsed = sent_at.elapsed();
+        let pkt = DataPacket::decode(&buf[..n]).unwrap();
+        assert_eq!(pkt.seq, 1);
+        assert!(
+            elapsed >= Duration::from_millis(25),
+            "arrived after {elapsed:?}, before the 30 ms forward delay"
+        );
+        assert_eq!(emu.forwarded(), 1);
+        emu.stop();
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let clock = WallClock::new();
+        let sink = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sink.set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        let mut config = EmulatorConfig::new(tiny_trace(8.0), sink.local_addr().unwrap());
+        config.loss = 1.0;
+        let emu = Emulator::spawn(config, clock).unwrap();
+
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for seq in 0..10 {
+            tx.send_to(&data_packet(seq), emu.ingress_addr()).unwrap();
+        }
+        let mut buf = [0u8; 2048];
+        assert!(sink.recv_from(&mut buf).is_err(), "packet leaked through");
+        // Give the emulator thread a beat to count the drops.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(emu.dropped(), 10);
+        emu.stop();
+    }
+
+    #[test]
+    fn droptail_buffer_limits_backlog() {
+        let clock = WallClock::new();
+        let sink = UdpSocket::bind("127.0.0.1:0").unwrap();
+        // A glacial trace: 1 B/ms — nothing drains during the test.
+        let mut config = EmulatorConfig::new(
+            Trace::from_times(
+                "slow",
+                (0..2000u64).map(verus_nettypes::SimTime::from_millis),
+                1,
+            )
+            .unwrap(),
+            sink.local_addr().unwrap(),
+        );
+        config.queue_capacity = 3000; // fits 2 encoded packets
+        let emu = Emulator::spawn(config, clock).unwrap();
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        for seq in 0..10 {
+            tx.send_to(&data_packet(seq), emu.ingress_addr()).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(emu.dropped() >= 7, "only {} dropped", emu.dropped());
+        emu.stop();
+    }
+}

@@ -1,0 +1,41 @@
+//! Real-socket deployment of the Verus reproduction.
+//!
+//! The paper's prototype (§5) is a multi-threaded C++ sender/receiver
+//! pair over UDP, evaluated live on 3G/LTE networks and on a
+//! `tc`-controlled dumbbell. Commercial cellular networks are not
+//! available to this reproduction, so the live setup is replaced by:
+//!
+//! * [`sender`] — a wall-clock driven UDP sender that runs any
+//!   [`CongestionControl`](verus_nettypes::CongestionControl)
+//!   implementation (Verus with its 5 ms epochs, or the baselines) with
+//!   the same loss-detection machinery as the simulator: the §5.2
+//!   3×delay reordering timer and an RFC 6298 RTO;
+//! * [`receiver`] — the UDP sink: timestamps every data packet and
+//!   returns an ACK echoing the packet's send time and sending window
+//!   (one thread, like the prototype's receiver app);
+//! * [`emulator`] — the mahimahi substitute: a UDP forwarder that
+//!   releases queued data packets at the delivery opportunities of a
+//!   cellular [`Trace`](verus_cellular::Trace) (looped), applies
+//!   stochastic loss and a DropTail buffer, and delays ACKs by a fixed
+//!   return path. Pointing the sender at the emulator and the emulator
+//!   at the receiver on loopback reproduces the paper's trace-driven
+//!   testbed with real packets and real clocks.
+//!
+//! Everything runs on plain `std::net::UdpSocket` + threads — the same
+//! architecture as the paper's librt-based prototype; an async runtime
+//! would add machinery without adding fidelity for a handful of sockets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod emulator;
+pub mod receiver;
+pub mod sender;
+pub mod stats;
+
+pub use clock::WallClock;
+pub use emulator::{Emulator, EmulatorConfig, EmulatorHandle};
+pub use receiver::{Receiver, ReceiverHandle};
+pub use sender::{SenderConfig, UdpSender};
+pub use stats::TransferStats;

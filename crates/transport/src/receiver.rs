@@ -1,0 +1,161 @@
+//! The UDP receiver: timestamp and acknowledge every data packet.
+//!
+//! Mirrors the prototype's receiver application (§5): it is entirely
+//! stateless per packet — decode, stamp with the local clock, echo an
+//! ACK to the packet's source. The echoed fields (send time, sending
+//! window) carry everything the sender-side algorithm needs, so the
+//! receiver needs no per-flow state at all.
+
+use crate::clock::WallClock;
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use verus_nettypes::{AckPacket, DataPacket};
+
+/// A running receiver thread.
+pub struct ReceiverHandle {
+    stop: Arc<AtomicBool>,
+    received: Arc<AtomicU64>,
+    bytes: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+    local_addr: std::net::SocketAddr,
+}
+
+/// The receiver factory.
+pub struct Receiver;
+
+impl Receiver {
+    /// Spawns a receiver on `bind_addr` (e.g. `"127.0.0.1:0"`), ACKing
+    /// every data packet with timestamps from `clock`.
+    pub fn spawn(bind_addr: &str, clock: WallClock) -> std::io::Result<ReceiverHandle> {
+        let socket = UdpSocket::bind(bind_addr)?;
+        let local_addr = socket.local_addr()?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let received = Arc::new(AtomicU64::new(0));
+        let bytes = Arc::new(AtomicU64::new(0));
+        let t_stop = Arc::clone(&stop);
+        let t_received = Arc::clone(&received);
+        let t_bytes = Arc::clone(&bytes);
+        let thread = std::thread::Builder::new()
+            .name("verus-receiver".into())
+            .spawn(move || {
+                let mut buf = [0u8; 65_536];
+                while !t_stop.load(Ordering::Relaxed) {
+                    match socket.recv_from(&mut buf) {
+                        Ok((n, src)) => {
+                            let Ok(pkt) = DataPacket::decode(&buf[..n]) else {
+                                continue; // not a data packet; ignore
+                            };
+                            t_received.fetch_add(1, Ordering::Relaxed);
+                            t_bytes.fetch_add(n as u64, Ordering::Relaxed);
+                            let ack = AckPacket::for_packet(&pkt, clock.now_micros());
+                            // Best effort: a dropped ACK looks like loss
+                            // to the sender, which is correct behaviour.
+                            let _ = socket.send_to(&ack.encode(), src);
+                        }
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn receiver thread");
+        Ok(ReceiverHandle {
+            stop,
+            received,
+            bytes,
+            thread: Some(thread),
+            local_addr,
+        })
+    }
+}
+
+impl ReceiverHandle {
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Packets received so far.
+    #[must_use]
+    pub fn received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+
+    /// Bytes received so far.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Stops the receiver and joins its thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ReceiverHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receiver_acks_data_packets() {
+        let clock = WallClock::new();
+        let rx = Receiver::spawn("127.0.0.1:0", clock).unwrap();
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+
+        let pkt = DataPacket {
+            flow: 1,
+            seq: 42,
+            send_time_us: clock.now_micros(),
+            send_window: 7.0,
+            payload_len: 100,
+        };
+        sock.send_to(&pkt.encode(), rx.local_addr()).unwrap();
+
+        let mut buf = [0u8; 1500];
+        let (n, _) = sock.recv_from(&mut buf).unwrap();
+        let ack = AckPacket::decode(&buf[..n]).unwrap();
+        assert_eq!(ack.seq, 42);
+        assert_eq!(ack.flow, 1);
+        assert_eq!(ack.echo_send_time_us, pkt.send_time_us);
+        assert!((ack.send_window - 7.0).abs() < 1e-3);
+        assert_eq!(rx.received(), 1);
+        rx.stop();
+    }
+
+    #[test]
+    fn receiver_ignores_garbage() {
+        let clock = WallClock::new();
+        let rx = Receiver::spawn("127.0.0.1:0", clock).unwrap();
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        sock.send_to(b"not a verus packet", rx.local_addr()).unwrap();
+        let mut buf = [0u8; 64];
+        assert!(sock.recv_from(&mut buf).is_err(), "no ACK expected");
+        assert_eq!(rx.received(), 0);
+        rx.stop();
+    }
+}

@@ -1,0 +1,265 @@
+//! The wall-clock UDP sender.
+//!
+//! One thread drives a [`CongestionControl`] over a real socket, exactly
+//! like the prototype's librt-timer sender (§5):
+//!
+//! ```text
+//! loop (until deadline):
+//!   fire any due ε-epoch tick           (cc.on_tick)
+//!   fire any due reorder / RTO timers   (cc.on_loss)
+//!   drain incoming ACKs                 (cc.on_ack)
+//!   pump: send packets while quota > 0  (cc.on_packet_sent)
+//!   sleep until the next deadline (bounded by 500 µs)
+//! ```
+//!
+//! Loss detection matches the simulator's transport so simulated and
+//! real runs are comparable: the §5.2 gap timer (3 × delay for each
+//! missing sequence number, armed when a later ACK arrives) plus an
+//! RFC 6298 RTO that clears all outstanding state.
+
+use crate::clock::WallClock;
+use crate::stats::TransferStats;
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+use verus_nettypes::{
+    AckEvent, AckPacket, CongestionControl, DataPacket, LossEvent, LossKind, RttEstimator,
+    SimDuration, SimTime,
+};
+use verus_stats::ThroughputSeries;
+
+/// Sender configuration.
+#[derive(Debug, Clone)]
+pub struct SenderConfig {
+    /// Destination (receiver or emulator ingress).
+    pub dest: SocketAddr,
+    /// Local bind address (use port 0 for ephemeral).
+    pub bind: String,
+    /// Payload bytes per packet (1400 in the paper).
+    pub packet_bytes: u32,
+    /// How long to run.
+    pub duration: Duration,
+    /// Flow id stamped into packets.
+    pub flow: u32,
+    /// Gap-timer factor (§5.2's "3×delay"); `None` disables the gap
+    /// timer and leaves only the RTO (for window-based baselines the
+    /// duplicate-ACK counting is approximated by a 1.5× factor).
+    pub gap_factor: f64,
+}
+
+impl SenderConfig {
+    /// Defaults for a Verus flow to `dest`.
+    #[must_use]
+    pub fn new(dest: SocketAddr, duration: Duration) -> Self {
+        Self {
+            dest,
+            bind: "127.0.0.1:0".into(),
+            packet_bytes: 1400,
+            duration,
+            flow: 1,
+            gap_factor: 3.0,
+        }
+    }
+}
+
+struct Outstanding {
+    send_window: f64,
+    gap_deadline: Option<SimTime>,
+}
+
+/// The sender: owns the socket and the control loop.
+pub struct UdpSender {
+    config: SenderConfig,
+    clock: WallClock,
+}
+
+impl UdpSender {
+    /// Creates a sender sharing `clock` with the (local) receiver so
+    /// one-way delays are exact.
+    #[must_use]
+    pub fn new(config: SenderConfig, clock: WallClock) -> Self {
+        Self { config, clock }
+    }
+
+    /// Runs `cc` over the socket until the configured duration elapses,
+    /// returning the transfer statistics.
+    pub fn run(&self, mut cc: Box<dyn CongestionControl>) -> std::io::Result<TransferStats> {
+        let socket = UdpSocket::bind(&self.config.bind)?;
+        socket.connect(self.config.dest)?;
+        socket.set_read_timeout(Some(Duration::from_micros(500)))?;
+
+        let start = self.clock.now();
+        let deadline = start + SimDuration::from_std(self.config.duration);
+        let tick = cc.tick_interval();
+        let mut next_tick = tick.map(|t| start + t);
+
+        let mut outstanding: BTreeMap<u64, Outstanding> = BTreeMap::new();
+        let mut next_seq: u64 = 0;
+        let mut rtt = RttEstimator::default();
+        let mut rto_deadline: Option<SimTime> = None;
+        let mut rto_retries: u32 = 0;
+
+        let mut stats = TransferStats {
+            protocol: cc.name().to_string(),
+            sent: 0,
+            acked: 0,
+            fast_losses: 0,
+            timeouts: 0,
+            throughput: ThroughputSeries::new(1.0),
+            delays_ms: Vec::new(),
+            duration_secs: self.config.duration.as_secs_f64(),
+        };
+
+        let mut buf = [0u8; 2048];
+        loop {
+            let now = self.clock.now();
+            if now >= deadline {
+                break;
+            }
+
+            // 1. Epoch ticks.
+            if let (Some(t), Some(period)) = (next_tick, tick) {
+                if now >= t {
+                    cc.on_tick(now);
+                    next_tick = Some(t + period);
+                }
+            }
+
+            // 2. Gap timers (armed below on reordered ACKs).
+            let due: Vec<u64> = outstanding
+                .iter()
+                .filter(|(_, o)| o.gap_deadline.is_some_and(|d| now >= d))
+                .map(|(&s, _)| s)
+                .collect();
+            for seq in due {
+                let o = outstanding.remove(&seq).expect("due seq present");
+                stats.fast_losses += 1;
+                cc.on_loss(
+                    now,
+                    &LossEvent {
+                        seq,
+                        send_window: o.send_window,
+                        kind: LossKind::FastRetransmit,
+                    },
+                );
+            }
+
+            // 3. RTO (with exponential backoff across consecutive fires).
+            if let Some(d) = rto_deadline {
+                if now >= d && !outstanding.is_empty() {
+                    let (&oldest, o) = outstanding.iter().next().expect("non-empty");
+                    let send_window = o.send_window;
+                    outstanding.clear();
+                    stats.timeouts += 1;
+                    rto_retries += 1;
+                    cc.on_loss(
+                        now,
+                        &LossEvent {
+                            seq: oldest,
+                            send_window,
+                            kind: LossKind::Timeout,
+                        },
+                    );
+                    rto_deadline = Some(now + rtt.backed_off_rto(rto_retries));
+                }
+            }
+
+            // 4. Drain ACKs (bounded batch per iteration).
+            for _ in 0..256 {
+                match socket.recv(&mut buf) {
+                    Ok(n) => {
+                        let Ok(ack) = AckPacket::decode(&buf[..n]) else {
+                            continue;
+                        };
+                        let now = self.clock.now();
+                        let sample =
+                            now.saturating_since(SimTime::from_micros(ack.echo_send_time_us));
+                        // Stale ACKs (packet already declared lost) still
+                        // carry valid RTT samples — feeding them prevents
+                        // the spurious-RTO spiral after timeouts.
+                        rtt.on_sample(sample);
+                        let Some(o) = outstanding.remove(&ack.seq) else {
+                            continue; // stale: no CC events
+                        };
+                        let one_way = SimTime::from_micros(ack.recv_time_us)
+                            .saturating_since(SimTime::from_micros(ack.echo_send_time_us));
+                        rto_retries = 0;
+                        stats.acked += 1;
+                        stats.delays_ms.push(one_way.as_millis_f64());
+                        stats.throughput.record(
+                            now.saturating_since(start).as_secs_f64(),
+                            u64::from(self.config.packet_bytes),
+                        );
+                        cc.on_ack(
+                            now,
+                            &AckEvent {
+                                seq: ack.seq,
+                                bytes: u64::from(self.config.packet_bytes),
+                                rtt: sample,
+                                delay: one_way,
+                                send_window: ack.send_window,
+                            },
+                        );
+                        // Re-arm the RTO and gap timers for holes.
+                        rto_deadline = if outstanding.is_empty() {
+                            None
+                        } else {
+                            Some(now + rtt.rto())
+                        };
+                        let gap = rtt
+                            .srtt_or(SimDuration::from_millis(200))
+                            .mul_f64(self.config.gap_factor);
+                        for (_, o) in outstanding.range_mut(..ack.seq) {
+                            if o.gap_deadline.is_none() {
+                                o.gap_deadline = Some(now + gap);
+                            }
+                        }
+                        let _ = o;
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // 5. Pump.
+            loop {
+                let now = self.clock.now();
+                let quota = cc.quota(now, outstanding.len());
+                if quota == 0 {
+                    break;
+                }
+                for _ in 0..quota {
+                    let seq = next_seq;
+                    next_seq += 1;
+                    let pkt = DataPacket {
+                        flow: self.config.flow,
+                        seq,
+                        send_time_us: self.clock.now_micros(),
+                        send_window: cc.window().max(1.0),
+                        payload_len: self.config.packet_bytes,
+                    };
+                    outstanding.insert(
+                        seq,
+                        Outstanding {
+                            send_window: pkt.send_window,
+                            gap_deadline: None,
+                        },
+                    );
+                    stats.sent += 1;
+                    cc.on_packet_sent(now, seq, u64::from(self.config.packet_bytes));
+                    if rto_deadline.is_none() {
+                        rto_deadline = Some(now + rtt.rto());
+                    }
+                    socket.send(&pkt.encode())?;
+                }
+            }
+            // The read timeout above provides the pacing sleep.
+        }
+        Ok(stats)
+    }
+}

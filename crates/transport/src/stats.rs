@@ -1,0 +1,93 @@
+//! Transfer statistics for real-socket runs.
+
+use serde::{Deserialize, Serialize};
+use verus_stats::{Summary, ThroughputSeries};
+
+/// What a [`crate::UdpSender`] measured over one transfer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransferStats {
+    /// Protocol name.
+    pub protocol: String,
+    /// Packets sent.
+    pub sent: u64,
+    /// Packets acknowledged.
+    pub acked: u64,
+    /// Losses declared by fast detection.
+    pub fast_losses: u64,
+    /// Retransmission timeouts.
+    pub timeouts: u64,
+    /// Acknowledged throughput in 1-second windows (bytes credited at
+    /// ACK-arrival time).
+    pub throughput: ThroughputSeries,
+    /// Per-packet one-way delays in ms (receiver timestamp − send
+    /// timestamp; exact when both ends share a [`crate::WallClock`]).
+    pub delays_ms: Vec<f64>,
+    /// Wall-clock duration of the transfer, seconds.
+    pub duration_secs: f64,
+}
+
+impl TransferStats {
+    /// Mean acknowledged throughput in Mbit/s.
+    #[must_use]
+    pub fn mean_throughput_mbps(&self) -> f64 {
+        if self.duration_secs <= 0.0 {
+            return 0.0;
+        }
+        self.throughput.mean_bps(self.duration_secs) / 1e6
+    }
+
+    /// Mean one-way delay, ms.
+    #[must_use]
+    pub fn mean_delay_ms(&self) -> f64 {
+        if self.delays_ms.is_empty() {
+            return 0.0;
+        }
+        self.delays_ms.iter().sum::<f64>() / self.delays_ms.len() as f64
+    }
+
+    /// Delay distribution summary.
+    #[must_use]
+    pub fn delay_summary(&self) -> Option<Summary> {
+        Summary::from_samples(&self.delays_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_duration_means_zero_rate() {
+        let s = TransferStats {
+            protocol: "t".into(),
+            sent: 0,
+            acked: 0,
+            fast_losses: 0,
+            timeouts: 0,
+            throughput: ThroughputSeries::new(1.0),
+            delays_ms: vec![],
+            duration_secs: 0.0,
+        };
+        assert_eq!(s.mean_throughput_mbps(), 0.0);
+        assert_eq!(s.mean_delay_ms(), 0.0);
+        assert!(s.delay_summary().is_none());
+    }
+
+    #[test]
+    fn throughput_and_delay_computation() {
+        let mut tp = ThroughputSeries::new(1.0);
+        tp.record(0.2, 250_000); // 2 Mbit
+        let s = TransferStats {
+            protocol: "t".into(),
+            sent: 10,
+            acked: 9,
+            fast_losses: 1,
+            timeouts: 0,
+            throughput: tp,
+            delays_ms: vec![10.0, 30.0],
+            duration_secs: 2.0,
+        };
+        assert!((s.mean_throughput_mbps() - 1.0).abs() < 1e-9);
+        assert_eq!(s.mean_delay_ms(), 20.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! The paper's headline claims as executable assertions. Each test is a
+//! miniature version of the corresponding figure's harness with the
+//! qualitative claim as its oracle — if a refactor breaks one of these,
+//! the reproduction no longer reproduces.
+
+use verus_bench::{CellExperiment, DumbbellExperiment, ProtocolSpec};
+use verus_cellular::{OperatorModel, Scenario};
+use verus_netsim::queue::QueueConfig;
+use verus_nettypes::{SimDuration, SimTime};
+use verus_stats::windowed_jain_mean_from;
+
+fn cell(seed: u64, secs: u64, flows: usize) -> CellExperiment {
+    let trace = Scenario::CampusStationary
+        .generate_trace(OperatorModel::Etisalat3G, SimDuration::from_secs(secs), seed)
+        .expect("trace");
+    let mut exp = CellExperiment::new(trace, flows, SimDuration::from_secs(secs), seed + 1);
+    exp.queue = QueueConfig::DropTail {
+        capacity_bytes: 2_250_000,
+    };
+    exp
+}
+
+/// Abstract: "In comparison to TCP Cubic, Verus achieves an order of
+/// magnitude (> 10x) reduction in delay over 3G and LTE networks while
+/// achieving comparable throughput."
+#[test]
+fn claim_verus_vs_cubic_delay_and_throughput() {
+    let exp = cell(4000, 60, 3);
+    let verus = exp.run(ProtocolSpec::verus(6.0));
+    let cubic = exp.run(ProtocolSpec::baseline("cubic"));
+    let mean = |rs: &[verus_netsim::FlowReport], f: fn(&verus_netsim::FlowReport) -> f64| {
+        rs.iter().map(f).sum::<f64>() / rs.len() as f64
+    };
+    let (vt, vd) = (
+        mean(&verus, |r| r.mean_throughput_mbps()),
+        mean(&verus, |r| r.mean_delay_ms()),
+    );
+    let (ct, cd) = (
+        mean(&cubic, |r| r.mean_throughput_mbps()),
+        mean(&cubic, |r| r.mean_delay_ms()),
+    );
+    assert!(
+        vd * 5.0 < cd,
+        "delay reduction only {cd:.0}/{vd:.0} = {:.1}x (claim: ~10x)",
+        cd / vd
+    );
+    assert!(
+        vt > 0.75 * ct,
+        "throughput not comparable: verus {vt:.2} vs cubic {ct:.2} Mbit/s"
+    );
+}
+
+/// Abstract: "In comparison to Sprout, Verus achieves up to 30% higher
+/// throughput in rapidly changing cellular networks."
+#[test]
+fn claim_verus_beats_sprout_under_rapid_change() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use verus_netsim::{BottleneckConfig, FixedParams, FlowConfig, SimConfig, Simulation};
+
+    let mut rng = StdRng::seed_from_u64(4100);
+    let schedule: Vec<(SimTime, FixedParams)> = (0..40)
+        .map(|i| {
+            (
+                SimTime::from_secs(i * 5),
+                FixedParams {
+                    rate_bps: rng.gen_range(2e6..20e6),
+                    loss: rng.gen_range(0.0..0.001),
+                    base_rtt: SimDuration::from_millis(rng.gen_range(10..=100)),
+                },
+            )
+        })
+        .collect();
+    let run = |name: &str| {
+        let config = SimConfig {
+            bottleneck: BottleneckConfig::Fixed {
+                schedule: schedule.clone(),
+            },
+            queue: QueueConfig::DropTail {
+                capacity_bytes: 375_000,
+            },
+            flows: vec![FlowConfig::new(verus_bench::cc_by_name(name, 2.0))],
+            duration: SimDuration::from_secs(200),
+            seed: 4101,
+            throughput_window: SimDuration::from_secs(1),
+        };
+        Simulation::new(config).unwrap().run().remove(0).mean_throughput_mbps()
+    };
+    let verus = run("verus");
+    let sprout = run("sprout");
+    assert!(
+        verus > sprout,
+        "verus {verus:.2} !> sprout {sprout:.2} Mbit/s under rapid change"
+    );
+}
+
+/// §7 / Figure 11a: Sprout's released implementation "is capped at
+/// 18 Mbps"; Verus is not.
+#[test]
+fn claim_sprout_cap_verus_uncapped() {
+    use verus_netsim::{BottleneckConfig, FlowConfig, SimConfig, Simulation};
+    let run = |name: &str| {
+        let config = SimConfig {
+            bottleneck: BottleneckConfig::fixed(80e6, SimDuration::from_millis(30), 0.0),
+            queue: QueueConfig::DropTail {
+                capacity_bytes: 750_000,
+            },
+            flows: vec![FlowConfig::new(verus_bench::cc_by_name(name, 2.0))],
+            duration: SimDuration::from_secs(30),
+            seed: 4200,
+            throughput_window: SimDuration::from_secs(1),
+        };
+        Simulation::new(config).unwrap().run().remove(0).mean_throughput_mbps()
+    };
+    assert!(run("sprout") < 19.0, "sprout exceeded its 18 Mbit/s cap");
+    assert!(run("verus") > 25.0, "verus failed to use a fast link");
+}
+
+/// Table 1's contention shape: Verus keeps high fairness at 10+ users
+/// while Cubic's collapses.
+#[test]
+fn claim_fairness_under_contention() {
+    let jain = |spec: ProtocolSpec| {
+        let exp = cell(4300, 90, 10);
+        let reports = exp.run(spec);
+        let series: Vec<&verus_stats::ThroughputSeries> =
+            reports.iter().map(|r| &r.throughput).collect();
+        windowed_jain_mean_from(&series, 30).expect("windows exist")
+    };
+    let verus = jain(ProtocolSpec::verus(2.0));
+    let cubic = jain(ProtocolSpec::baseline("cubic"));
+    assert!(verus > 0.7, "verus fairness {verus:.2} too low at 10 users");
+    assert!(
+        verus > cubic,
+        "verus ({verus:.2}) not fairer than cubic ({cubic:.2}) under contention"
+    );
+}
+
+/// Figure 9's knob: R = 6 must yield more throughput *and* more delay
+/// than R = 2.
+#[test]
+fn claim_r_is_a_monotone_tradeoff() {
+    let exp = cell(4400, 60, 3);
+    let run = |r: f64| {
+        let reports = exp.run(ProtocolSpec::verus(r));
+        let n = reports.len() as f64;
+        (
+            reports.iter().map(|x| x.mean_throughput_mbps()).sum::<f64>() / n,
+            reports.iter().map(|x| x.mean_delay_ms()).sum::<f64>() / n,
+        )
+    };
+    let (t2, d2) = run(2.0);
+    let (t6, d6) = run(6.0);
+    assert!(t6 >= t2 * 0.95, "R=6 throughput {t6:.2} below R=2 {t2:.2}");
+    assert!(d6 > d2, "R=6 delay {d6:.0} not above R=2 {d2:.0}");
+}
+
+/// Figure 14: Verus and Cubic sharing a dumbbell end with comparable
+/// aggregate shares (at the moderate-buffer operating point).
+#[test]
+fn claim_tcp_friendliness_at_moderate_buffer() {
+    let mut flows = Vec::new();
+    for i in 0..3u64 {
+        flows.push((
+            ProtocolSpec::verus(2.0),
+            SimTime::from_secs(i * 20),
+            SimDuration::ZERO,
+        ));
+    }
+    for i in 3..6u64 {
+        flows.push((
+            ProtocolSpec::baseline("cubic"),
+            SimTime::from_secs(i * 20),
+            SimDuration::ZERO,
+        ));
+    }
+    let exp = DumbbellExperiment {
+        rate_bps: 60e6,
+        base_rtt: SimDuration::from_millis(40),
+        flows,
+        duration: SimDuration::from_secs(160),
+        queue: QueueConfig::DropTail {
+            capacity_bytes: 530_000,
+        },
+        seed: 4500,
+    };
+    let reports = exp.run();
+    let tail_rate = |r: &verus_netsim::FlowReport| {
+        let s = r.throughput.series_mbps();
+        let t: Vec<f64> = s
+            .iter()
+            .filter(|(ts, _)| *ts >= 120.0)
+            .map(|&(_, v)| v)
+            .collect();
+        t.iter().sum::<f64>() / t.len().max(1) as f64
+    };
+    let verus: f64 = reports[..3].iter().map(tail_rate).sum();
+    let cubic: f64 = reports[3..].iter().map(tail_rate).sum();
+    let ratio = verus / cubic.max(1e-9);
+    assert!(
+        (0.3..3.4).contains(&ratio),
+        "shares not comparable: verus {verus:.1} vs cubic {cubic:.1} (ratio {ratio:.2})"
+    );
+}
