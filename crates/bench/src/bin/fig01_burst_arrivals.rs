@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
-use verus_bench::{print_table, write_json};
+use verus_bench::{guard_finite, print_table, write_json};
 use verus_cellular::fading::{FadingConfig, LinkBudget};
 use verus_cellular::scheduler::{run_cell, CellConfig, Demand, UserConfig};
 use verus_nettypes::SimDuration;
@@ -80,6 +80,16 @@ fn main() {
         "paper shape: delays oscillate in a ~30–50 ms band as the scheduler\n\
          drains the probe's queue in TTI bursts — {} distinct delay levels seen here",
         series.len()
+    );
+
+    guard_finite(
+        "fig01_burst_arrivals",
+        &[
+            ("delay mean", summary.mean),
+            ("delay p95", summary.p95),
+            ("delay max", summary.max),
+            ("series sum", series.iter().map(|&(_, d)| d).sum::<f64>()),
+        ],
     );
 
     write_json(

@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
-use verus_bench::{print_table, write_json};
+use verus_bench::{guard_finite, print_table, write_json};
 use verus_cellular::burst::{burst_stats, detect_bursts, BurstStats};
 use verus_cellular::fading::FadingConfig;
 use verus_cellular::scheduler::{run_cell, CellConfig, Demand, UserConfig};
@@ -118,6 +118,17 @@ fn main() {
     println!("paper shape: LTE rows show more bursts with smaller mean size and");
     println!("shorter inter-arrival gaps than the corresponding 3G rows, and both");
     println!("size and gap distributions span multiple decades.");
+
+    let checks: Vec<(&str, f64)> = entries
+        .iter()
+        .flat_map(|e| {
+            [
+                ("burst size mean", e.stats.size_bytes.mean),
+                ("burst gap mean", e.stats.inter_arrival_ms.mean),
+            ]
+        })
+        .collect();
+    guard_finite("fig02_burst_pdfs", &checks);
 
     write_json("fig02_burst_pdfs", &entries);
 }

@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
-use verus_bench::{print_table, write_json};
+use verus_bench::{guard_finite, print_table, write_json};
 use verus_cellular::fading::{FadingConfig, LinkBudget};
 use verus_cellular::scheduler::{run_cell, CellConfig, Demand, UserConfig};
 use verus_nettypes::SimDuration;
@@ -92,6 +92,12 @@ fn main() {
     println!();
     println!("paper shape: delay inflation grows with user 1's rate and explodes");
     println!("when the combined rate (user1 + 10) approaches the cell capacity.");
+
+    let checks: Vec<(&str, f64)> = rows_out
+        .iter()
+        .flat_map(|r| [("delay OFF", r.delay_off_ms), ("delay ON", r.delay_on_ms)])
+        .collect();
+    guard_finite("fig03_competing_traffic", &checks);
 
     write_json("fig03_competing_traffic", &rows_out);
 }

@@ -7,7 +7,7 @@
 //! dramatic window-to-window fluctuations, worse at 20 ms than 100 ms.
 
 use serde::Serialize;
-use verus_bench::{print_table, write_json};
+use verus_bench::{guard_finite, print_table, write_json};
 use verus_cellular::{OperatorModel, Scenario};
 use verus_nettypes::SimDuration;
 
@@ -77,6 +77,16 @@ fn main() {
     println!("paper shape: both windows fluctuate strongly; the 20 ms series has a");
     println!("clearly higher coefficient of variation than the 100 ms series.");
     println!("(full series in the JSON output)");
+
+    guard_finite(
+        "fig04_throughput_windows",
+        &[
+            ("100 ms mean", w100.mean_kbps),
+            ("100 ms cov", w100.cov),
+            ("20 ms mean", w20.mean_kbps),
+            ("20 ms cov", w20.cov),
+        ],
+    );
 
     write_json("fig04_throughput_windows", &vec![w100, w20]);
 }

@@ -6,7 +6,7 @@
 //! is sampled at the end of the run.
 
 use serde::Serialize;
-use verus_bench::{print_table, write_json};
+use verus_bench::{guard_finite, print_table, write_json};
 use verus_cellular::{OperatorModel, Scenario};
 use verus_core::VerusCc;
 use verus_netsim::queue::QueueConfig;
@@ -79,6 +79,22 @@ fn main() {
     );
     println!("paper shape: delay grows monotonically with the sending window, with");
     println!("curvature set by the channel's queueing response (compare Figure 5).");
+
+    guard_finite(
+        "fig05_delay_profile",
+        &[
+            ("Dest", snapshot.dest_ms),
+            ("window at Dest", snapshot.window_at_dest),
+            (
+                "curve sum",
+                snapshot.curve.iter().map(|&(_, d)| d).sum::<f64>(),
+            ),
+            (
+                "points sum",
+                snapshot.points.iter().map(|&(_, d)| d).sum::<f64>(),
+            ),
+        ],
+    );
 
     write_json("fig05_delay_profile", &snapshot);
 }

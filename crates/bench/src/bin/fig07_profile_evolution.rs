@@ -7,7 +7,7 @@
 //! 1-second re-interpolation).
 
 use serde::Serialize;
-use verus_bench::{print_table, write_json};
+use verus_bench::{guard_finite, print_table, write_json};
 use verus_cellular::{OperatorModel, Scenario};
 use verus_core::VerusCc;
 use verus_netsim::queue::QueueConfig;
@@ -89,12 +89,7 @@ fn main() {
         // nearest curve sample to W = 40
         s.curve
             .iter()
-            .min_by(|a, b| {
-                (a.0 - 40.0)
-                    .abs()
-                    .partial_cmp(&(b.0 - 40.0).abs())
-                    .unwrap()
-            })
+            .min_by(|a, b| (a.0 - 40.0).abs().total_cmp(&(b.0 - 40.0).abs()))
             .map(|&(_, d)| d)
     };
     let rows: Vec<Vec<String>> = snapshots
@@ -131,6 +126,24 @@ fn main() {
     println!();
     println!("paper shape: the profile steepens (higher delay at the same window)");
     println!("whenever the channel rate drops, and flattens again as it returns.");
+
+    guard_finite(
+        "fig07_profile_evolution",
+        &[
+            ("correlation", corr),
+            (
+                "channel series sum",
+                channel_series.iter().map(|&(_, v)| v).sum::<f64>(),
+            ),
+            (
+                "snapshot curves sum",
+                snapshots
+                    .iter()
+                    .flat_map(|s| s.curve.iter().map(|&(_, d)| d))
+                    .sum::<f64>(),
+            ),
+        ],
+    );
 
     write_json(
         "fig07_profile_evolution",

@@ -13,7 +13,7 @@
 //! * Verus vs Sprout: slightly higher throughput, slightly higher delay.
 
 use serde::Serialize;
-use verus_bench::{print_table, write_json, CellExperiment, ProtocolSpec};
+use verus_bench::{guard_finite, print_table, write_json, CellExperiment, ProtocolSpec};
 use verus_cellular::{OperatorModel, Scenario};
 use verus_netsim::queue::QueueConfig;
 use verus_nettypes::SimDuration;
@@ -84,5 +84,10 @@ fn main() {
     println!("paper shape: Verus delay ≈ an order of magnitude below Cubic/Vegas at");
     println!("comparable (or higher) throughput; Verus vs Sprout trades slightly");
     println!("higher throughput for slightly higher delay.");
+    let checks: Vec<(&str, f64)> = out
+        .iter()
+        .flat_map(|p| [("mean throughput", p.mean_mbps), ("mean delay", p.mean_delay_ms)])
+        .collect();
+    guard_finite("fig08_macro_3g_lte", &checks);
     write_json("fig08_macro_3g_lte", &out);
 }

@@ -5,7 +5,7 @@
 //! frontier: larger R ⇒ more throughput and more delay.
 
 use serde::Serialize;
-use verus_bench::{print_table, write_json, CellExperiment, ProtocolSpec};
+use verus_bench::{guard_finite, print_table, write_json, CellExperiment, ProtocolSpec};
 use verus_cellular::{OperatorModel, Scenario};
 use verus_netsim::queue::QueueConfig;
 use verus_nettypes::SimDuration;
@@ -70,5 +70,10 @@ fn main() {
     }
     println!("paper shape: R = 2 → lowest delay & throughput; R = 6 → highest of");
     println!("both; R = 4 in between (a monotone trade-off frontier).");
+    let checks: Vec<(&str, f64)> = out
+        .iter()
+        .flat_map(|p| [("mean throughput", p.mean_mbps), ("mean delay", p.mean_delay_ms)])
+        .collect();
+    guard_finite("fig09_r_tradeoff", &checks);
     write_json("fig09_r_tradeoff", &out);
 }

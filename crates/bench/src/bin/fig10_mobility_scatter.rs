@@ -11,7 +11,7 @@
 //! throughput spread across flows far more than Verus'.
 
 use serde::Serialize;
-use verus_bench::{print_table, write_json, CellExperiment, ProtocolSpec};
+use verus_bench::{guard_finite, print_table, write_json, CellExperiment, ProtocolSpec};
 use verus_cellular::{OperatorModel, Scenario};
 use verus_nettypes::SimDuration;
 
@@ -100,5 +100,16 @@ fn main() {
     println!("paper shape: Verus (R=2) delay an order of magnitude below the TCPs;");
     println!("higher R buys throughput for delay; under mobility the TCPs' per-flow");
     println!("throughput spread widens while Verus' stays small.");
+    let checks: Vec<(&str, f64)> = out
+        .iter()
+        .flat_map(|p| {
+            [
+                ("mean throughput", p.mean_mbps),
+                ("throughput std", p.std_mbps),
+                ("mean delay", p.mean_delay_ms),
+            ]
+        })
+        .collect();
+    guard_finite("fig10_mobility_scatter", &checks);
     write_json("fig10_mobility_scatter", &out);
 }

@@ -22,7 +22,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
-use verus_bench::{cc_by_name, print_table, write_json};
+use verus_bench::{cc_by_name, guard_finite, print_table, write_json};
 use verus_netsim::queue::QueueConfig;
 use verus_netsim::{BottleneckConfig, FixedParams, FlowConfig, SimConfig, Simulation};
 use verus_nettypes::{SimDuration, SimTime};
@@ -151,6 +151,12 @@ fn main() {
         .iter()
         .map(|(t, p)| (t.as_secs_f64(), p.rate_bps / 1e6))
         .collect();
+    let checks: Vec<(&str, f64)> = runs1
+        .iter()
+        .chain(runs2.iter())
+        .flat_map(|r| [("mean throughput", r.mean_mbps), ("mean delay", r.mean_delay_ms)])
+        .collect();
+    guard_finite("fig11_rapid_change", &checks);
     write_json(
         "fig11_rapid_change",
         &Fig11 {

@@ -6,7 +6,7 @@
 //! sit near the fair share.
 
 use serde::Serialize;
-use verus_bench::{print_table, write_json, DumbbellExperiment, ProtocolSpec};
+use verus_bench::{guard_finite, print_table, write_json, DumbbellExperiment, ProtocolSpec};
 use verus_netsim::queue::QueueConfig;
 use verus_nettypes::{SimDuration, SimTime};
 use verus_stats::jain_index;
@@ -96,6 +96,14 @@ fn main() {
     println!();
     println!("paper shape: flow 1 starts near 90 Mbit/s and steps down with each");
     println!("arrival; with all seven active the shares converge near 90/7 ≈ 13.");
+
+    guard_finite(
+        "fig12_flow_arrivals",
+        &[
+            ("final Jain", final_jain),
+            ("final rates sum", final_rates.iter().sum::<f64>()),
+        ],
+    );
 
     write_json(
         "fig12_flow_arrivals",

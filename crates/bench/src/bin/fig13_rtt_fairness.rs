@@ -6,7 +6,7 @@
 //! fairness" — unlike TCP's 1/RTT bias.
 
 use serde::Serialize;
-use verus_bench::{print_table, write_json, DumbbellExperiment, ProtocolSpec};
+use verus_bench::{guard_finite, print_table, write_json, DumbbellExperiment, ProtocolSpec};
 use verus_netsim::queue::QueueConfig;
 use verus_nettypes::{SimDuration, SimTime};
 use verus_stats::jain_index;
@@ -101,5 +101,13 @@ fn main() {
     println!("flow ~5x the 100 ms flow's share; Verus keeps the spread within ~2x");
     println!("(partial reproduction — see EXPERIMENTS.md).");
 
-    write_json("fig13_rtt_fairness", &best.expect("two runs"));
+    let best = best.expect("two runs");
+    guard_finite(
+        "fig13_rtt_fairness",
+        &[
+            ("Jain", best.jain),
+            ("rates sum", best.mean_rates_mbps.iter().sum::<f64>()),
+        ],
+    );
+    write_json("fig13_rtt_fairness", &best);
 }

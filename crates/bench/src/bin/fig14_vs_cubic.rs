@@ -7,7 +7,7 @@
 //! hold comparable aggregate shares.
 
 use serde::Serialize;
-use verus_bench::{print_table, write_json, DumbbellExperiment, ProtocolSpec};
+use verus_bench::{guard_finite, print_table, write_json, DumbbellExperiment, ProtocolSpec};
 use verus_netsim::queue::QueueConfig;
 use verus_nettypes::{SimDuration, SimTime};
 
@@ -85,6 +85,14 @@ fn main() {
     println!();
     println!("paper shape: the two protocol groups end up with comparable shares of");
     println!("the bottleneck (Verus is TCP-friendly under loss-based contention).");
+
+    guard_finite(
+        "fig14_vs_cubic",
+        &[
+            ("verus share", verus_share),
+            ("cubic share", cubic_share),
+        ],
+    );
 
     write_json(
         "fig14_vs_cubic",

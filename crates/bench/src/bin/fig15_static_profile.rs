@@ -7,7 +7,7 @@
 //! operating points no longer match the channel.
 
 use serde::Serialize;
-use verus_bench::{print_table, write_json, CellExperiment, ProtocolSpec};
+use verus_bench::{guard_finite, print_table, write_json, CellExperiment, ProtocolSpec};
 use verus_cellular::{OperatorModel, Scenario};
 use verus_nettypes::SimDuration;
 
@@ -92,5 +92,17 @@ fn main() {
     println!("paper shape: the static profile is strictly worse — lower throughput");
     println!("and/or higher delay — because the channel moves away from the curve.");
 
+    let checks: Vec<(&str, f64)> = out
+        .iter()
+        .flat_map(|r| {
+            [
+                ("updating throughput", r.updating_mbps),
+                ("updating delay", r.updating_delay_ms),
+                ("static throughput", r.static_mbps),
+                ("static delay", r.static_delay_ms),
+            ]
+        })
+        .collect();
+    guard_finite("fig15_static_profile", &checks);
     write_json("fig15_static_profile", &out);
 }

@@ -11,7 +11,7 @@
 //! predicting.
 
 use serde::Serialize;
-use verus_bench::{print_table, write_json};
+use verus_bench::{guard_finite, print_table, write_json};
 use verus_cellular::predictors::{
     evaluate, EwmaPredictor, LastValue, LinearPredictor, Predictor, PredictionError,
     SlidingMean,
@@ -78,5 +78,10 @@ fn main() {
     println!("(NRMSE ≫ 0) even one 20 ms step ahead, and the linear extrapolator is");
     println!("no better than naive hold-last — the channel resists prediction.");
 
+    let checks: Vec<(&str, f64)> = out
+        .iter()
+        .flat_map(|r| [("NRMSE", r.nrmse), ("MAE", r.mae_kbps)])
+        .collect();
+    guard_finite("sec3_predictability", &checks);
     write_json("sec3_predictability", &out);
 }

@@ -9,7 +9,7 @@
 //! * larger δ values are more aggressive (throughput up, delay up).
 
 use serde::Serialize;
-use verus_bench::{print_table, write_json};
+use verus_bench::{guard_finite, print_table, write_json};
 use verus_cellular::{OperatorModel, Scenario};
 use verus_core::{VerusCc, VerusConfig};
 use verus_netsim::queue::QueueConfig;
@@ -107,5 +107,10 @@ fn main() {
     println!("paper shape: ε = 5 ms and a 1 s update interval sit at the knee of");
     println!("their sweeps; larger δ values trade delay for throughput.");
 
+    let checks: Vec<(&str, f64)> = out
+        .iter()
+        .flat_map(|p| [("throughput", p.mbps), ("delay", p.delay_ms)])
+        .collect();
+    guard_finite("sec53_sensitivity", &checks);
     write_json("sec53_sensitivity", &out);
 }

@@ -13,7 +13,7 @@
 //! competitive while keeping its delay advantage.
 
 use serde::Serialize;
-use verus_bench::{cc_by_name, print_table, write_json};
+use verus_bench::{cc_by_name, guard_finite, print_table, write_json};
 use verus_cellular::{OperatorModel, Scenario};
 use verus_netsim::queue::QueueConfig;
 use verus_netsim::{BottleneckConfig, FlowConfig, SimConfig, Simulation};
@@ -72,5 +72,10 @@ fn main() {
     println!("startup; at larger sizes Verus stays within a small factor of Cubic");
     println!("(trading a little completion time for its delay bound).");
 
+    let checks: Vec<(&str, f64)> = out
+        .iter()
+        .filter_map(|f| f.fct_s.map(|t| ("completion time", t)))
+        .collect();
+    guard_finite("sec7_short_flows", &checks);
     write_json("sec7_short_flows", &out);
 }

@@ -8,7 +8,7 @@
 //! Verus and NewReno stay higher at scale.
 
 use serde::Serialize;
-use verus_bench::{print_table, write_json, CellExperiment, ProtocolSpec};
+use verus_bench::{guard_finite, print_table, write_json, CellExperiment, ProtocolSpec};
 use verus_cellular::{OperatorModel, Scenario};
 use verus_nettypes::SimDuration;
 use verus_stats::windowed_jain_mean_from;
@@ -80,5 +80,10 @@ fn main() {
     println!("paper values: Cubic 98.1→70.1%, NewReno 89.7→82.0%, Verus 94.6→78.6%");
     println!("as users grow 2→20; the shape to match is Cubic degrading most under");
     println!("contention while NewReno stays flattest.");
+    let checks: Vec<(&str, f64)> = out
+        .iter()
+        .map(|c| ("Jain percent", c.jain_percent))
+        .collect();
+    guard_finite("table1_jain_fairness", &checks);
     write_json("table1_jain_fairness", &out);
 }

@@ -16,7 +16,7 @@
 pub mod output;
 pub mod runners;
 
-pub use output::{print_table, results_dir, write_json};
+pub use output::{guard_finite, print_table, results_dir, write_json};
 pub use runners::{
     cc_by_name, cell_experiment, dumbbell_experiment, CellExperiment, DumbbellExperiment,
     ProtocolSpec,

@@ -27,6 +27,25 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Verifies that every listed metric is finite; otherwise lists the
+/// offending values on stderr and exits non-zero so CI catches silently
+/// poisoned results (a NaN or infinity propagating through a figure's
+/// pipeline would otherwise serialize to JSON and look like success).
+///
+/// Fold series through `.sum::<f64>()` before guarding — one non-finite
+/// sample poisons the sum, so the whole series is checked by one entry.
+pub fn guard_finite(figure: &str, metrics: &[(&str, f64)]) {
+    let bad: Vec<&(&str, f64)> =
+        metrics.iter().filter(|(_, v)| !v.is_finite()).collect();
+    if bad.is_empty() {
+        return;
+    }
+    for (name, v) in &bad {
+        eprintln!("{figure}: metric `{name}` is not finite ({v})");
+    }
+    std::process::exit(1);
+}
+
 /// Prints an aligned text table.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

@@ -207,7 +207,7 @@ pub fn run_cell<R: Rng + ?Sized>(
             .enumerate()
             .filter(|(i, u)| u.backlogged() && rates[*i] > 0)
             .map(|(i, u)| (i, f64::from(rates[i]) / u.pf_avg.max(1e-9)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("non-finite PF metric"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(i, _)| i);
 
         // 4. Service + PF average update.

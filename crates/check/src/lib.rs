@@ -1,0 +1,660 @@
+//! `verus-check`: repo-specific static analysis for the Verus workspace.
+//!
+//! The scanner is deliberately textual — no syn, no proc-macro2, no
+//! dependencies at all — so it builds in offline environments before
+//! anything else in the workspace does. To keep the textual matching
+//! honest it first reduces every file to a *code view*: comments and
+//! string/char-literal contents are blanked out (newlines preserved), so
+//! a doc comment mentioning `unwrap()` never trips a rule.
+//!
+//! Rules (see `DESIGN.md` § "Invariants & static checks"):
+//!
+//! | rule              | scope                                   | forbids |
+//! |-------------------|-----------------------------------------|---------|
+//! | `no-wallclock`    | deterministic crates (all targets)      | `Instant`, `SystemTime`, `thread::sleep` |
+//! | `no-unwrap-in-lib`| `core`/`netsim` lib code, non-test      | `.unwrap()`, `.expect(`, `panic!` |
+//! | `no-print-in-lib` | lib code outside `bench`, non-test      | `println!`, `eprintln!`, `print!`, `eprint!` |
+//! | `nan-unsafe-cmp`  | everywhere                              | `partial_cmp(..).unwrap()/.expect()/.unwrap_or()` |
+//! | `no-todo`         | everywhere                              | `todo!`, `unimplemented!` |
+//!
+//! A violation is silenced by a comment on the same line or the line
+//! above: `// verus-check: allow(<rule>)` — with a justification, please.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose logic must stay deterministic: simulation time only, no
+/// wall clock. `transport` is the one crate allowed to touch real time.
+pub const DETERMINISTIC_CRATES: &[&str] = [
+    "core", "netsim", "spline", "stats", "cellular", "nettypes", "baselines",
+]
+.as_slice();
+
+/// All rule names, for `--list-rules` and suppression validation.
+pub const RULES: &[&str] = &[
+    "no-wallclock",
+    "no-unwrap-in-lib",
+    "no-print-in-lib",
+    "nan-unsafe-cmp",
+    "no-todo",
+];
+
+/// One finding, pointing at a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// How a file participates in the build, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// `crates/<c>/src/**` (excluding `src/bin` and `src/main.rs`).
+    Lib,
+    /// `src/bin/**`, `src/main.rs` — executable targets.
+    Bin,
+    /// `tests/**` or `benches/**` (crate-level or workspace-level).
+    TestOrBench,
+    /// `examples/**`.
+    Example,
+    /// Anything else (`build.rs`, scripts); only universal rules apply.
+    Other,
+}
+
+/// Path-derived classification of a source file.
+#[derive(Debug, Clone)]
+pub struct FileInfo {
+    /// The `crates/<name>` the file belongs to, if any.
+    pub crate_name: Option<String>,
+    /// Which kind of build target the file contributes to.
+    pub kind: TargetKind,
+}
+
+/// Classifies a workspace-relative path like `crates/core/src/sender.rs`.
+#[must_use]
+pub fn classify(rel: &Path) -> FileInfo {
+    let parts: Vec<&str> = rel
+        .iter()
+        .map(|c| c.to_str().unwrap_or_default())
+        .collect();
+    let (crate_name, rest) = if parts.len() >= 2 && parts[0] == "crates" {
+        (Some(parts[1].to_string()), &parts[2..])
+    } else {
+        (None, &parts[..])
+    };
+    let kind = match rest.first().copied() {
+        Some("src") => {
+            if rest.get(1).copied() == Some("bin") || rest.get(1).copied() == Some("main.rs") {
+                TargetKind::Bin
+            } else {
+                TargetKind::Lib
+            }
+        }
+        Some("tests") | Some("benches") => TargetKind::TestOrBench,
+        Some("examples") => TargetKind::Example,
+        _ => TargetKind::Other,
+    };
+    FileInfo { crate_name, kind }
+}
+
+/// A source file reduced to scannable form.
+struct Source {
+    /// Code view: comments and literal contents blanked, newlines kept.
+    code: String,
+    /// Per (1-based) line: rules suppressed on that line.
+    suppressions: BTreeMap<usize, Vec<String>>,
+    /// Per (1-based) line: whether the line sits inside a `#[cfg(test)]`
+    /// module body.
+    in_test: Vec<bool>,
+}
+
+impl Source {
+    fn new(text: &str) -> Self {
+        let code = code_view(text);
+        let lines = text.lines().count().max(1);
+        let suppressions = collect_suppressions(text);
+        let in_test = mark_cfg_test_lines(&code, lines);
+        Self {
+            code,
+            suppressions,
+            in_test,
+        }
+    }
+
+    fn suppressed(&self, rule: &str, line: usize) -> bool {
+        // A suppression covers its own line and the line below it, so
+        // both trailing and preceding-line comments work.
+        for l in [line, line.saturating_sub(1)] {
+            if l > 0
+                && self
+                    .suppressions
+                    .get(&l)
+                    .is_some_and(|rs| rs.iter().any(|r| r == rule))
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn line_in_test(&self, line: usize) -> bool {
+        line >= 1 && self.in_test.get(line - 1).copied().unwrap_or(false)
+    }
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Blanks comments and string/char-literal contents, preserving newlines
+/// so byte offsets map to the same lines as the original text.
+fn code_view(text: &str) -> String {
+    let b = text.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nesting).
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string: optional `b`, `r`, hashes, quote.
+        if (c == b'r' || c == b'b') && (i == 0 || !is_ident(b[i - 1])) {
+            let mut j = i;
+            if b[j] == b'b' {
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'r' {
+                j += 1;
+                let mut hashes = 0usize;
+                while b.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if b.get(j) == Some(&b'"') {
+                    j += 1;
+                    // Scan to closing quote + same number of hashes.
+                    'raw: while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut k = 0usize;
+                            while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    for idx in i..j.min(b.len()) {
+                        out.push(blank(b[idx]));
+                    }
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        // Normal string (including `b"..."` handled above only when raw).
+        if c == b'"' {
+            out.push(b' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' {
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b[i] == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let next = b.get(i + 1).copied();
+            let is_char = match next {
+                Some(b'\\') => true,
+                Some(_) => b.get(i + 2) == Some(&b'\''),
+                None => false,
+            };
+            if is_char {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'\'' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses `// verus-check: allow(rule-a, rule-b)` markers from raw text.
+fn collect_suppressions(text: &str) -> BTreeMap<usize, Vec<String>> {
+    let mut map: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let Some(pos) = raw.find("verus-check:") else {
+            continue;
+        };
+        let tail = &raw[pos + "verus-check:".len()..];
+        let Some(open) = tail.find("allow(") else {
+            continue;
+        };
+        let args = &tail[open + "allow(".len()..];
+        let Some(close) = args.find(')') else {
+            continue;
+        };
+        let rules = args[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty());
+        map.entry(idx + 1).or_default().extend(rules);
+    }
+    map
+}
+
+/// Marks every line that lies inside a `#[cfg(test)] mod … { … }` body.
+fn mark_cfg_test_lines(code: &str, lines: usize) -> Vec<bool> {
+    let mut marks = vec![false; lines];
+    let b = code.as_bytes();
+    let mut search_from = 0usize;
+    while let Some(rel) = code[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + rel;
+        let mut i = attr_at + "#[cfg(test)]".len();
+        search_from = i;
+        // Skip whitespace, further attributes, and header tokens until the
+        // opening brace of the annotated item (bounded lookahead).
+        let limit = (i + 500).min(b.len());
+        let mut open = None;
+        while i < limit {
+            match b[i] {
+                b'{' => {
+                    open = Some(i);
+                    break;
+                }
+                b';' => break, // `#[cfg(test)] mod foo;` — out-of-line, skip
+                _ => i += 1,
+            }
+        }
+        let Some(open) = open else { continue };
+        // Brace-match to the end of the module body.
+        let mut depth = 0usize;
+        let mut close = b.len();
+        let mut j = open;
+        while j < b.len() {
+            match b[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let start_line = line_of(code, attr_at);
+        let end_line = line_of(code, close);
+        for l in start_line..=end_line.min(lines) {
+            marks[l - 1] = true;
+        }
+        search_from = close.min(b.len().saturating_sub(1)).max(search_from);
+    }
+    marks
+}
+
+/// 1-based line containing byte offset `at`.
+fn line_of(text: &str, at: usize) -> usize {
+    text.as_bytes()[..at.min(text.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+/// Finds word-boundary occurrences of `needle` in `hay` (byte offsets).
+fn word_hits(hay: &str, needle: &str) -> Vec<usize> {
+    let hb = hay.as_bytes();
+    let first_ident = needle.as_bytes().first().map_or(false, |&c| is_ident(c));
+    let last_ident = needle.as_bytes().last().map_or(false, |&c| is_ident(c));
+    let mut hits = Vec::new();
+    let mut from = 0usize;
+    while let Some(rel) = hay[from..].find(needle) {
+        let at = from + rel;
+        from = at + 1;
+        if first_ident && at > 0 && is_ident(hb[at - 1]) {
+            continue;
+        }
+        let end = at + needle.len();
+        if last_ident && end < hb.len() && is_ident(hb[end]) {
+            continue;
+        }
+        hits.push(at);
+    }
+    hits
+}
+
+/// Scans one file's text; `rel` is its workspace-relative path.
+#[must_use]
+pub fn scan_source(rel: &Path, text: &str) -> Vec<Diagnostic> {
+    let info = classify(rel);
+    let src = Source::new(text);
+    let mut out = Vec::new();
+
+    let mut push = |src: &Source, rule: &'static str, line: usize, message: String| {
+        if !src.suppressed(rule, line) {
+            out.push(Diagnostic {
+                path: rel.to_path_buf(),
+                line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    let is_deterministic = info
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
+    if is_deterministic {
+        for needle in ["Instant", "SystemTime", "thread::sleep"] {
+            for at in word_hits(&src.code, needle) {
+                push(
+                    &src,
+                    "no-wallclock",
+                    line_of(&src.code, at),
+                    format!(
+                        "`{needle}` in deterministic crate `{}`; use SimTime/SimDuration \
+                         (only `transport` may touch the wall clock)",
+                        info.crate_name.as_deref().unwrap_or("?")
+                    ),
+                );
+            }
+        }
+    }
+
+    let unwrap_scope = info
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| c == "core" || c == "netsim")
+        && info.kind == TargetKind::Lib;
+    if unwrap_scope {
+        for needle in [".unwrap()", ".expect(", "panic!"] {
+            for at in word_hits(&src.code, needle) {
+                let line = line_of(&src.code, at);
+                if src.line_in_test(line) {
+                    continue;
+                }
+                push(
+                    &src,
+                    "no-unwrap-in-lib",
+                    line,
+                    format!(
+                        "`{needle}` in `{}` library code; return an error or restructure \
+                         so the state is impossible",
+                        info.crate_name.as_deref().unwrap_or("?")
+                    ),
+                );
+            }
+        }
+    }
+
+    let print_scope =
+        info.kind == TargetKind::Lib && info.crate_name.as_deref() != Some("bench");
+    if print_scope {
+        for needle in ["println!", "eprintln!", "print!", "eprint!"] {
+            for at in word_hits(&src.code, needle) {
+                let line = line_of(&src.code, at);
+                if src.line_in_test(line) {
+                    continue;
+                }
+                push(
+                    &src,
+                    "no-print-in-lib",
+                    line,
+                    format!("`{needle}` in library code; emit data, not console output"),
+                );
+            }
+        }
+    }
+
+    for at in word_hits(&src.code, "partial_cmp") {
+        if let Some(msg) = nan_unsafe_at(&src.code, at) {
+            push(&src, "nan-unsafe-cmp", line_of(&src.code, at), msg);
+        }
+    }
+
+    for needle in ["todo!", "unimplemented!"] {
+        for at in word_hits(&src.code, needle) {
+            push(
+                &src,
+                "no-todo",
+                line_of(&src.code, at),
+                format!("`{needle}` must not land on main"),
+            );
+        }
+    }
+
+    out
+}
+
+/// If the `partial_cmp` at byte `at` is followed (possibly across lines)
+/// by `.unwrap()`, `.expect(`, or `.unwrap_or(`, returns the message.
+fn nan_unsafe_at(code: &str, at: usize) -> Option<String> {
+    let b = code.as_bytes();
+    // Skip trait impl definitions: `fn partial_cmp(...)`.
+    let before = code[..at].trim_end();
+    if before.ends_with("fn") {
+        return None;
+    }
+    let mut i = at + "partial_cmp".len();
+    while i < b.len() && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if b.get(i) != Some(&b'(') {
+        return None; // method reference, not a call
+    }
+    let mut depth = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    while i < b.len() && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    let tail = &code[i.min(code.len())..];
+    for bad in [".unwrap()", ".expect(", ".unwrap_or("] {
+        if tail.starts_with(bad) {
+            return Some(format!(
+                "`partial_cmp(..){bad}..` is NaN-unsafe; use `f64::total_cmp` \
+                 (or handle the None arm explicitly)"
+            ));
+        }
+    }
+    None
+}
+
+/// Recursively walks `root` and scans every `.rs` file.
+///
+/// Skips `target/`, hidden directories, and anything that is not Rust
+/// source. Returns diagnostics sorted by path then line.
+pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        out.extend(scan_source(&rel, &text));
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_view_blanks_comments_and_strings() {
+        let text = "let a = \"todo!()\"; // todo!()\nlet b = 1; /* x */";
+        let cv = code_view(text);
+        assert!(!cv.contains("todo"));
+        assert!(cv.contains("let a ="));
+        assert!(cv.contains("let b = 1;"));
+        assert_eq!(text.lines().count(), cv.lines().count());
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let cv = code_view("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(cv.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let cv = code_view("let s = r#\"panic! \"inner\" \"#; call();");
+        assert!(!cv.contains("panic"));
+        assert!(cv.contains("call();"));
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify(Path::new("crates/core/src/sender.rs")).kind, TargetKind::Lib);
+        assert_eq!(
+            classify(Path::new("crates/bench/src/bin/fig05.rs")).kind,
+            TargetKind::Bin
+        );
+        assert_eq!(
+            classify(Path::new("crates/core/tests/properties.rs")).kind,
+            TargetKind::TestOrBench
+        );
+        assert_eq!(classify(Path::new("tests/integration.rs")).kind, TargetKind::TestOrBench);
+        assert_eq!(classify(Path::new("examples/demo.rs")).kind, TargetKind::Example);
+        assert_eq!(
+            classify(Path::new("crates/core/src/sender.rs")).crate_name.as_deref(),
+            Some("core")
+        );
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let text = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let src = Source::new(text);
+        assert!(!src.line_in_test(1));
+        assert!(src.line_in_test(2));
+        assert!(src.line_in_test(4));
+        assert!(!src.line_in_test(6));
+    }
+
+    #[test]
+    fn suppression_parses_multiple_rules() {
+        let map = collect_suppressions("x(); // verus-check: allow(no-todo, no-wallclock)\n");
+        assert_eq!(
+            map.get(&1).map(Vec::len),
+            Some(2),
+            "both rules should be recorded"
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p verus-check            # scan the workspace, exit 1 on findings
+//! cargo run -p verus-check -- --list-rules
+//! cargo run -p verus-check -- path/to/root
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in verus_check::RULES {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: verus-check [--list-rules] [ROOT]");
+                println!("Scans every .rs file under ROOT (default: the workspace)");
+                println!("and reports violations of the repo lint rules.");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    match verus_check::run_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("verus-check: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("verus-check: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("verus-check: i/o error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest when run
+/// via `cargo run -p verus-check`, else the current directory.
+fn workspace_root() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(dir);
+        if let Some(root) = p.ancestors().nth(2) {
+            if root.join("Cargo.toml").is_file() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}

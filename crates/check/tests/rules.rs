@@ -1,0 +1,215 @@
+//! Seeded-violation tests: every rule must fire on a deliberately bad
+//! snippet and stay quiet when the code is out of scope or suppressed.
+//!
+//! The bad snippets live in string literals, which the scanner blanks
+//! out of its code view — so this file itself never trips the rules it
+//! seeds.
+
+use std::path::Path;
+use verus_check::{scan_source, Diagnostic};
+
+fn scan(rel: &str, text: &str) -> Vec<Diagnostic> {
+    scan_source(Path::new(rel), text)
+}
+
+fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ---------------------------------------------------------------- no-wallclock
+
+#[test]
+fn wallclock_instant_fires_in_deterministic_crate() {
+    let d = scan(
+        "crates/core/src/foo.rs",
+        "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n",
+    );
+    assert_eq!(rules(&d), ["no-wallclock", "no-wallclock"]);
+    assert_eq!(d[0].line, 1);
+    assert_eq!(d[1].line, 2);
+}
+
+#[test]
+fn wallclock_sleep_and_systemtime_fire() {
+    let d = scan(
+        "crates/netsim/src/foo.rs",
+        "fn f() { std::thread::sleep(d); let _ = SystemTime::now(); }\n",
+    );
+    assert_eq!(rules(&d), ["no-wallclock", "no-wallclock"]);
+}
+
+#[test]
+fn wallclock_fires_even_in_tests_of_deterministic_crates() {
+    let d = scan("crates/spline/tests/t.rs", "fn f() { let t = Instant::now(); }\n");
+    assert_eq!(rules(&d), ["no-wallclock"]);
+}
+
+#[test]
+fn wallclock_allowed_in_transport() {
+    let d = scan(
+        "crates/transport/src/clock.rs",
+        "use std::time::Instant;\nfn f() { std::thread::sleep(d); }\n",
+    );
+    assert!(d.is_empty(), "transport may use the wall clock: {d:?}");
+}
+
+#[test]
+fn wallclock_ignores_identifier_substrings() {
+    let d = scan(
+        "crates/core/src/foo.rs",
+        "struct InstantaneousRate; fn f(x: MySystemTimeish) {}\n",
+    );
+    assert!(d.is_empty(), "{d:?}");
+}
+
+// ------------------------------------------------------------ no-unwrap-in-lib
+
+#[test]
+fn unwrap_fires_in_core_lib() {
+    let d = scan("crates/core/src/foo.rs", "fn f() { v.last().unwrap(); }\n");
+    assert_eq!(rules(&d), ["no-unwrap-in-lib"]);
+}
+
+#[test]
+fn expect_and_panic_fire_in_netsim_lib() {
+    let d = scan(
+        "crates/netsim/src/foo.rs",
+        "fn f() { v.pop().expect(\"x\"); }\nfn g() { panic!(\"boom\"); }\n",
+    );
+    assert_eq!(rules(&d), ["no-unwrap-in-lib", "no-unwrap-in-lib"]);
+}
+
+#[test]
+fn unwrap_or_is_not_flagged() {
+    let d = scan("crates/core/src/foo.rs", "fn f() { v.pop().unwrap_or(0); }\n");
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn unwrap_ok_in_cfg_test_module() {
+    let text = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { v.pop().unwrap(); }\n}\n";
+    let d = scan("crates/core/src/foo.rs", text);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn unwrap_ok_in_tests_dir_and_other_crates() {
+    assert!(scan("crates/core/tests/t.rs", "fn f() { v.pop().unwrap(); }\n").is_empty());
+    assert!(scan("crates/stats/src/foo.rs", "fn f() { v.pop().unwrap(); }\n").is_empty());
+}
+
+#[test]
+fn doc_comment_mentioning_unwrap_is_ignored() {
+    let d = scan(
+        "crates/core/src/foo.rs",
+        "/// Calls `.unwrap()` internally — just kidding.\nfn f() {}\n",
+    );
+    assert!(d.is_empty(), "{d:?}");
+}
+
+// ------------------------------------------------------------- no-print-in-lib
+
+#[test]
+fn println_fires_in_lib_code() {
+    let d = scan("crates/stats/src/foo.rs", "fn f() { println!(\"x\"); }\n");
+    assert_eq!(rules(&d), ["no-print-in-lib"]);
+}
+
+#[test]
+fn eprintln_fires_in_lib_code() {
+    let d = scan("crates/transport/src/foo.rs", "fn f() { eprintln!(\"x\"); }\n");
+    assert_eq!(rules(&d), ["no-print-in-lib"]);
+}
+
+#[test]
+fn print_allowed_in_bench_bins_and_tests() {
+    assert!(scan("crates/bench/src/output.rs", "fn f() { println!(\"x\"); }\n").is_empty());
+    assert!(scan("crates/bench/src/bin/fig.rs", "fn f() { println!(\"x\"); }\n").is_empty());
+    assert!(scan("crates/core/tests/t.rs", "fn f() { println!(\"x\"); }\n").is_empty());
+    assert!(scan("examples/demo.rs", "fn f() { println!(\"x\"); }\n").is_empty());
+}
+
+// -------------------------------------------------------------- nan-unsafe-cmp
+
+#[test]
+fn partial_cmp_unwrap_fires() {
+    let d = scan("crates/stats/src/q.rs", "v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n");
+    assert_eq!(rules(&d), ["nan-unsafe-cmp"]);
+}
+
+#[test]
+fn partial_cmp_expect_fires_across_lines() {
+    let text = "let i = xs.binary_search_by(|p| {\n    p.partial_cmp(&x)\n        .expect(\"nan\")\n});\n";
+    let d = scan("crates/spline/src/m.rs", text);
+    assert_eq!(rules(&d), ["nan-unsafe-cmp"]);
+    assert_eq!(d[0].line, 2, "diagnostic anchors at the partial_cmp call");
+}
+
+#[test]
+fn partial_cmp_unwrap_or_fires() {
+    let d = scan(
+        "crates/bench/src/bin/fig.rs",
+        "v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));\n",
+    );
+    assert_eq!(rules(&d), ["nan-unsafe-cmp"]);
+}
+
+#[test]
+fn partial_cmp_definition_is_not_flagged() {
+    let text = "impl PartialOrd for T {\n    fn partial_cmp(&self, o: &Self) -> Option<Ordering> { None }\n}\n";
+    assert!(scan("crates/netsim/src/s.rs", text).is_empty());
+}
+
+#[test]
+fn total_cmp_is_clean() {
+    let d = scan("crates/stats/src/q.rs", "v.sort_by(f64::total_cmp);\n");
+    assert!(d.is_empty(), "{d:?}");
+}
+
+// -------------------------------------------------------------------- no-todo
+
+#[test]
+fn todo_fires_anywhere() {
+    let d = scan("crates/bench/src/bin/fig.rs", "fn f() { todo!() }\n");
+    assert_eq!(rules(&d), ["no-todo"]);
+    let d = scan("crates/core/tests/t.rs", "fn f() { unimplemented!() }\n");
+    assert_eq!(rules(&d), ["no-todo"]);
+}
+
+// --------------------------------------------------------------- suppressions
+
+#[test]
+fn trailing_allow_comment_suppresses() {
+    let text = "fn f() { v.pop().unwrap(); } // verus-check: allow(no-unwrap-in-lib)\n";
+    assert!(scan("crates/core/src/foo.rs", text).is_empty());
+}
+
+#[test]
+fn preceding_line_allow_comment_suppresses() {
+    let text = "// bootstrap only — verus-check: allow(no-unwrap-in-lib)\nfn f() { v.pop().unwrap(); }\n";
+    assert!(scan("crates/core/src/foo.rs", text).is_empty());
+}
+
+#[test]
+fn allow_for_a_different_rule_does_not_suppress() {
+    let text = "fn f() { v.pop().unwrap(); } // verus-check: allow(no-todo)\n";
+    let d = scan("crates/core/src/foo.rs", text);
+    assert_eq!(rules(&d), ["no-unwrap-in-lib"]);
+}
+
+#[test]
+fn allow_list_suppresses_multiple_rules() {
+    let text =
+        "fn f() { println!(\"{}\", x.partial_cmp(&y).unwrap().is_eq()); } // verus-check: allow(no-print-in-lib, nan-unsafe-cmp)\n";
+    assert!(scan("crates/stats/src/foo.rs", text).is_empty());
+}
+
+// ------------------------------------------------------------------ formatting
+
+#[test]
+fn diagnostic_formats_as_path_line_rule() {
+    let d = scan("crates/core/src/foo.rs", "fn f() { v.pop().unwrap(); }\n");
+    let s = d[0].to_string();
+    assert!(s.contains("crates/core/src/foo.rs:1:"), "{s}");
+    assert!(s.contains("[no-unwrap-in-lib]"), "{s}");
+}

@@ -1,0 +1,32 @@
+//! Tier-1 integration: the committed tree must be verus-check-clean.
+//!
+//! This is the test that makes the static-analysis pass part of
+//! `cargo test -q`: any rule violation introduced anywhere in the
+//! workspace fails this test with file:line diagnostics.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/check sits two levels under the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let diags = verus_check::run_workspace(&root).expect("scan workspace");
+    assert!(
+        diags.is_empty(),
+        "verus-check found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

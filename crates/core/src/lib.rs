@@ -80,6 +80,7 @@
 
 pub mod config;
 pub mod delay;
+pub mod invariants;
 pub mod loss;
 pub mod model;
 pub mod profile;

@@ -51,6 +51,7 @@ impl LossHandler {
     ///
     /// If already in recovery the window is left unchanged (one decrease
     /// per congestion event): returns `None`.
+    #[must_use = "discarding the collapsed window drops the Eq. 6 decrease"]
     pub fn on_loss(&mut self, w_loss: f64, min_window: f64) -> Option<f64> {
         if self.in_recovery {
             return None;
@@ -64,6 +65,7 @@ impl LossHandler {
     /// packet was sent after the collapse (`send_window ≤ w`).
     ///
     /// Returns the updated window. No-op outside recovery.
+    #[must_use = "discarding the grown window stalls recovery"]
     pub fn on_ack(&mut self, w: f64, ack_send_window: f64) -> f64 {
         if !self.in_recovery {
             return w;
@@ -136,7 +138,7 @@ mod tests {
     #[test]
     fn reset_clears_recovery() {
         let mut lh = LossHandler::new(0.5);
-        lh.on_loss(10.0, 2.0);
+        let _ = lh.on_loss(10.0, 2.0); // only the recovery flag matters here
         lh.reset();
         assert!(!lh.in_recovery());
         // next loss collapses again

@@ -38,6 +38,7 @@
 
 use crate::config::VerusConfig;
 use crate::delay::DelayEstimator;
+use crate::invariants;
 use crate::loss::LossHandler;
 use crate::profile::DelayProfiler;
 use crate::window::{DelayTrend, WindowEstimator};
@@ -104,7 +105,9 @@ impl VerusCc {
     #[must_use]
     pub fn new(config: VerusConfig) -> Self {
         if let Err(e) = config.validate() {
-            panic!("invalid Verus config: {e}");
+            // Documented constructor contract (`# Panics` above): a bad
+            // config is a programming error, not a runtime condition.
+            panic!("invalid Verus config: {e}"); // verus-check: allow(no-unwrap-in-lib)
         }
         Self {
             config,
@@ -168,6 +171,16 @@ impl VerusCc {
 
     /// Transitions slow start → congestion avoidance: fit the initial
     /// profile and seed `Dest` from the current smoothed maximum delay.
+    /// Single phase-assignment choke point: every transition is checked
+    /// against the legality table in [`crate::invariants`].
+    fn set_phase(&mut self, to: Phase) {
+        invariants::phase_transition(self.phase, to);
+        if to == Phase::Recovery {
+            invariants::recovery_requires_profile(self.window_est.is_some());
+        }
+        self.phase = to;
+    }
+
     fn enter_congestion_avoidance(&mut self, now: SimTime) {
         // Guarantee a fittable profile even on a pathologically early
         // exit (e.g. first-packet loss): synthesize a second point one
@@ -186,13 +199,14 @@ impl VerusCc {
             .dmax_ms()
             .or(self.delay_est.dmin_ms())
             .unwrap_or(self.config.epoch.as_millis_f64());
+        invariants::finite_positive(dest0, "initial set point");
         self.window_est = Some(WindowEstimator::new(
             dest0,
             self.config.delta1,
             self.config.delta2,
             self.config.r,
         ));
-        self.phase = Phase::CongestionAvoidance;
+        self.set_phase(Phase::CongestionAvoidance);
         self.next_refit = now + self.config.update_interval;
         self.credit = 0.0;
     }
@@ -214,17 +228,27 @@ impl VerusCc {
         let Some(dmin) = self.delay_est.dmin_ms() else {
             return;
         };
+        let ratio_tripped = dmax / dmin.max(1e-3) > self.config.r;
+        let prev_dest = west.dest_ms();
         let dest = west.step(&DelayTrend {
             dmax_ms: dmax,
             delta_d_ms: delta,
             dmin_ms: dmin.max(1e-3),
         });
+        invariants::dest_step(
+            prev_dest,
+            dest,
+            dmin.max(1e-3),
+            self.config.delta2.as_millis_f64(),
+            ratio_tripped,
+        );
         let w_next = self
             .profiler
             .lookup_window(dest, self.config.min_window, self.config.max_window)
             .unwrap_or(self.w_cur)
             .min(self.w_cur * self.config.growth_cap + 2.0)
             .clamp(self.config.min_window, self.config.max_window);
+        invariants::profile_lookup(w_next, self.config.min_window, self.config.max_window);
         // Path-change detection: pinned at the floor with the ratio guard
         // still tripping, delay no longer falling, AND delay *stable*
         // means the base RTT itself rose — re-learn Dmin. The stability
@@ -233,7 +257,6 @@ impl VerusCc {
         // flat delay floor, while competing traffic shows a noisy one
         // (and re-learning Dmin from a contended queue would ratchet the
         // protocol's delay bound upward without limit).
-        let ratio_tripped = dmax / dmin.max(1e-3) > self.config.r;
         if ratio_tripped && w_next <= self.config.min_window + 0.5 && delta > -0.1 {
             self.epochs_pinned += 1;
             if let Some(raw) = raw_max {
@@ -268,6 +291,13 @@ impl VerusCc {
         // credit so sub-packet quotas still make progress.
         self.credit = s + self.credit.clamp(0.0, 1.0).fract();
         self.w_cur = w_next;
+        invariants::quota_non_negative(self.credit);
+        invariants::window_bounds(
+            self.phase,
+            self.w_cur,
+            self.config.min_window,
+            self.config.max_window,
+        );
     }
 }
 
@@ -305,6 +335,7 @@ impl CongestionControl for VerusCc {
         // The prototype computes the packet round-trip delay at the sender
         // (§4 "Delay Estimator"); that RTT is the profile's y-axis.
         let delay_ms = ev.rtt.as_millis_f64();
+        invariants::delay_sample(ev.send_window, delay_ms);
         self.delay_est.record(now, ev.rtt);
 
         // Profile point updates: always during slow start (initial
@@ -321,7 +352,10 @@ impl CongestionControl for VerusCc {
 
         match self.phase {
             Phase::SlowStart => {
-                self.w_cur += 1.0;
+                // Exponential growth, but never past the configured cap:
+                // a slow start that outlives its welcome must not launch
+                // an unbounded in-flight burst.
+                self.w_cur = (self.w_cur + 1.0).min(self.config.max_window);
                 if let Some(dmin) = self.delay_est.dmin_ms() {
                     if delay_ms > self.config.ss_exit_multiplier * dmin {
                         self.enter_congestion_avoidance(now);
@@ -329,10 +363,13 @@ impl CongestionControl for VerusCc {
                 }
             }
             Phase::Recovery => {
-                self.w_cur = self.loss.on_ack(self.w_cur, ev.send_window);
+                self.w_cur = self
+                    .loss
+                    .on_ack(self.w_cur, ev.send_window)
+                    .min(self.config.max_window);
                 if !self.loss.in_recovery() {
                     if self.window_est.is_some() {
-                        self.phase = Phase::CongestionAvoidance;
+                        self.set_phase(Phase::CongestionAvoidance);
                         // Re-anchor the set point at today's delay level.
                         if let (Some(w), Some(dmax)) =
                             (self.window_est.as_mut(), self.delay_est.dmax_ms())
@@ -348,6 +385,12 @@ impl CongestionControl for VerusCc {
             }
             Phase::CongestionAvoidance => {}
         }
+        invariants::window_bounds(
+            self.phase,
+            self.w_cur,
+            self.config.min_window,
+            self.config.max_window,
+        );
     }
 
     fn on_loss(&mut self, now: SimTime, ev: &LossEvent) {
@@ -370,7 +413,7 @@ impl CongestionControl for VerusCc {
                 if let Some(w) = self.loss.on_loss(ev.send_window, self.config.min_window)
                 {
                     self.w_cur = w.min(self.config.max_window);
-                    self.phase = Phase::Recovery;
+                    self.set_phase(Phase::Recovery);
                     self.loss_event_point = Some(self.highest_sent);
                 }
             }
@@ -382,7 +425,7 @@ impl CongestionControl for VerusCc {
                 self.credit = 0.0;
                 self.loss.reset();
                 if self.config.timeout_reenters_slow_start {
-                    self.phase = Phase::SlowStart;
+                    self.set_phase(Phase::SlowStart);
                     self.w_cur = 1.0;
                     self.window_est = None;
                 } else {
@@ -390,15 +433,24 @@ impl CongestionControl for VerusCc {
                         self.enter_congestion_avoidance(now);
                     }
                     // Recovery semantics give the natural "wait until a
-                    // post-collapse packet is ACKed" behaviour.
-                    self.loss.on_loss(
+                    // post-collapse packet is ACKed" behaviour. The
+                    // returned window is w_cur itself (M · w_cur/M floored
+                    // at min_window, and w_cur == min_window here); only
+                    // the armed recovery flag matters.
+                    let _ = self.loss.on_loss(
                         self.w_cur / self.config.loss_decrease,
                         self.config.min_window,
                     );
-                    self.phase = Phase::Recovery;
+                    self.set_phase(Phase::Recovery);
                 }
             }
         }
+        invariants::window_bounds(
+            self.phase,
+            self.w_cur,
+            self.config.min_window,
+            self.config.max_window,
+        );
     }
 
     fn tick_interval(&self) -> Option<SimDuration> {

@@ -1,0 +1,90 @@
+//! Runtime simulator invariants: packet conservation.
+//!
+//! Every packet a flow hands to the network is, at any instant, in
+//! exactly one place:
+//!
+//! ```text
+//! sent = radio_lost + queue_drops + in_queue + in_transit + delivered
+//! ```
+//!
+//! The simulator maintains per-flow location counters and asserts this
+//! equation (plus queue-occupancy accounting) after **every** dispatched
+//! event. The accounting is by physical location, not loss declaration,
+//! so it stays exact even when the transport's loss detectors are wrong
+//! (a spuriously "lost" packet still sits in the queue and may still be
+//! delivered).
+//!
+//! Like `verus_core::invariants`, the check bodies are compiled only
+//! under `debug_assertions` or the `strict-invariants` feature; plain
+//! release builds get empty `#[inline]` stubs.
+
+/// Whether the invariant layer is compiled into this build.
+pub const ENABLED: bool = cfg!(any(debug_assertions, feature = "strict-invariants"));
+
+/// Asserts the per-flow packet-conservation equation.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn packet_conservation(
+    flow: usize,
+    sent: u64,
+    radio_lost: u64,
+    queue_drops: u64,
+    in_queue: u64,
+    in_transit: u64,
+    delivered: u64,
+) {
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    {
+        let accounted = radio_lost + queue_drops + in_queue + in_transit + delivered;
+        assert!(
+            sent == accounted,
+            "packet conservation violated for flow {flow}: sent {sent} != \
+             radio_lost {radio_lost} + queue_drops {queue_drops} + in_queue {in_queue} \
+             + in_transit {in_transit} + delivered {delivered} (= {accounted})"
+        );
+    }
+    #[cfg(not(any(debug_assertions, feature = "strict-invariants")))]
+    let _ = (flow, sent, radio_lost, queue_drops, in_queue, in_transit, delivered);
+}
+
+/// The flows' `in_queue` counters must sum to the bottleneck queue's
+/// actual occupancy.
+#[inline]
+pub fn queue_accounting(flows_in_queue: u64, queue_len: usize) {
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    assert!(
+        flows_in_queue == queue_len as u64,
+        "queue accounting violated: flows say {flows_in_queue} packet(s) queued, \
+         queue holds {queue_len}"
+    );
+    #[cfg(not(any(debug_assertions, feature = "strict-invariants")))]
+    let _ = (flows_in_queue, queue_len);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_ledger_passes() {
+        packet_conservation(0, 10, 1, 2, 3, 1, 3);
+        queue_accounting(3, 3);
+    }
+
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    mod firing {
+        use super::*;
+
+        #[test]
+        #[should_panic(expected = "packet conservation violated")]
+        fn unbalanced_ledger_fires() {
+            packet_conservation(0, 10, 1, 2, 3, 1, 2);
+        }
+
+        #[test]
+        #[should_panic(expected = "queue accounting violated")]
+        fn queue_mismatch_fires() {
+            queue_accounting(4, 3);
+        }
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod bottleneck;
 pub mod config;
+pub mod invariants;
 pub mod metrics;
 pub mod queue;
 pub mod sim;

@@ -24,6 +24,11 @@ pub struct FlowReport {
     pub fast_losses: u64,
     /// Retransmission timeouts fired.
     pub timeouts: u64,
+    /// Packets lost on the radio link before reaching the bottleneck
+    /// queue (stochastic loss).
+    pub radio_lost: u64,
+    /// Packets dropped by the bottleneck queue (tail-drop or RED).
+    pub queue_drops: u64,
     /// Active duration used for mean-rate computations, seconds
     /// (simulation end minus flow start).
     pub active_secs: f64,
@@ -85,6 +90,8 @@ mod tests {
             delivered: 98,
             fast_losses: 2,
             timeouts: 0,
+            radio_lost: 1,
+            queue_drops: 1,
             active_secs: 2.0,
             completion_secs: None,
         }
@@ -118,6 +125,8 @@ mod tests {
             delivered: 0,
             fast_losses: 0,
             timeouts: 0,
+            radio_lost: 0,
+            queue_drops: 0,
             active_secs: 0.0,
             completion_secs: None,
         };

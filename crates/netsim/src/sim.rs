@@ -123,6 +123,12 @@ struct FlowState {
     delivered: u64,
     fast_losses: u64,
     timeouts: u64,
+    // Packet-location ledger (see `crate::invariants`): every sent
+    // packet is in exactly one of these buckets or `delivered`.
+    radio_lost: u64,
+    queue_drops: u64,
+    in_queue: u64,
+    in_transit: u64,
 }
 
 enum Service {
@@ -186,6 +192,10 @@ impl Simulation {
                 delivered: 0,
                 fast_losses: 0,
                 timeouts: 0,
+                radio_lost: 0,
+                queue_drops: 0,
+                in_queue: 0,
+                in_transit: 0,
             })
             .collect();
 
@@ -283,7 +293,10 @@ impl Simulation {
                     let next = self.now + interval;
                     self.schedule(next, EventKind::Observe);
                 }
-                other => self.dispatch(other),
+                other => {
+                    self.dispatch(other);
+                    self.check_conservation();
+                }
             }
         }
         let end_secs = self.end.as_secs_f64();
@@ -299,12 +312,37 @@ impl Simulation {
                 delivered: f.delivered,
                 fast_losses: f.fast_losses,
                 timeouts: f.timeouts,
+                radio_lost: f.radio_lost,
+                queue_drops: f.queue_drops,
                 active_secs: (end_secs - f.start.as_secs_f64()).max(0.0),
                 completion_secs: f
                     .completed_at
                     .map(|t| t.saturating_since(f.start).as_secs_f64()),
             })
             .collect()
+    }
+
+    /// Verifies the packet-conservation ledger for every flow after an
+    /// event (see [`crate::invariants`]); empty stub in plain release
+    /// builds.
+    fn check_conservation(&self) {
+        #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+        {
+            let mut queued_total = 0u64;
+            for (i, f) in self.flows.iter().enumerate() {
+                crate::invariants::packet_conservation(
+                    i,
+                    f.sent,
+                    f.radio_lost,
+                    f.queue_drops,
+                    f.in_queue,
+                    f.in_transit,
+                    f.delivered,
+                );
+                queued_total += f.in_queue;
+            }
+            crate::invariants::queue_accounting(queued_total, self.queue.len());
+        }
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -333,6 +371,7 @@ impl Simulation {
                 sent_at,
             } => {
                 let f = &mut self.flows[flow];
+                f.in_transit -= 1;
                 f.delivered += 1;
                 f.delivered_bytes += u64::from(bytes);
                 if let Some(limit) = f.transfer_bytes {
@@ -481,6 +520,7 @@ impl Simulation {
         // simply never arrives; the sender finds out via its detectors.
         let p = self.loss_prob();
         if p > 0.0 && self.rng.gen::<f64>() < p {
+            self.flows[flow].radio_lost += 1;
             return;
         }
         let uniform = self.rng.gen::<f64>();
@@ -494,7 +534,10 @@ impl Simulation {
             uniform,
         );
         if accepted == EnqueueResult::Queued {
+            self.flows[flow].in_queue += 1;
             self.maybe_start_fixed_service();
+        } else {
+            self.flows[flow].queue_drops += 1;
         }
     }
 
@@ -511,26 +554,31 @@ impl Simulation {
         else {
             return;
         };
-        if *busy || self.queue.is_empty() {
+        if *busy {
             return;
         }
+        let Some(bytes) = self.queue.peek_bytes() else {
+            return; // empty queue: nothing to serialize
+        };
         *busy = true;
-        let bytes = self.queue.peek_bytes().expect("non-empty queue");
         let done = self.now + current.serialize_time(bytes);
         self.schedule(done, EventKind::FixedDepart);
     }
 
     fn on_fixed_depart(&mut self) {
-        let pkt = self
-            .queue
-            .dequeue()
-            .expect("departure from empty queue");
+        let Some(pkt) = self.queue.dequeue() else {
+            debug_assert!(false, "FixedDepart scheduled against an empty queue");
+            return;
+        };
         if let Service::Fixed { ref mut busy, .. } = self.service {
             *busy = false;
         }
         let deliver_at = self.now + self.fwd_delay(pkt.flow);
+        let fs = &mut self.flows[pkt.flow];
+        fs.in_queue -= 1;
+        fs.in_transit += 1;
         // Reconstruct sender metadata for the delivery event.
-        let sent_at = self.flows[pkt.flow]
+        let sent_at = fs
             .outstanding
             .get(&pkt.seq)
             .map(|m| m.sent_at)
@@ -572,13 +620,12 @@ impl Simulation {
             } else {
                 *credit += u64::from(opp.bytes);
                 while let Some(head) = self.queue.peek_bytes() {
-                    if u64::from(head) <= *credit {
-                        let pkt = self.queue.dequeue().expect("peeked");
-                        *credit -= u64::from(head);
-                        deliveries.push(pkt);
-                    } else {
+                    if u64::from(head) > *credit {
                         break;
                     }
+                    let Some(pkt) = self.queue.dequeue() else { break };
+                    *credit -= u64::from(head);
+                    deliveries.push(pkt);
                 }
                 if self.queue.is_empty() {
                     *credit = 0;
@@ -597,7 +644,10 @@ impl Simulation {
         // Phase 2: schedule deliveries.
         for pkt in deliveries {
             let deliver_at = self.now + self.fwd_delay(pkt.flow);
-            let sent_at = self.flows[pkt.flow]
+            let fs = &mut self.flows[pkt.flow];
+            fs.in_queue -= 1;
+            fs.in_transit += 1;
+            let sent_at = fs
                 .outstanding
                 .get(&pkt.seq)
                 .map(|m| m.sent_at)
@@ -724,10 +774,12 @@ impl Simulation {
             return;
         }
         let f = &mut self.flows[flow];
+        let Some((&oldest, meta)) = f.outstanding.iter().next() else {
+            return; // unreachable: `fire` requires a non-empty outstanding set
+        };
+        let send_window = meta.send_window;
         f.timeouts += 1;
         f.rto_retries += 1;
-        let (&oldest, meta) = f.outstanding.iter().next().expect("non-empty");
-        let send_window = meta.send_window;
         // TCP-equivalent state reset: everything outstanding is treated
         // as lost; the controller hears one Timeout event.
         f.outstanding.clear();

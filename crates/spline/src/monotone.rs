@@ -81,10 +81,7 @@ impl MonotoneCubic {
     }
 
     fn segment(&self, x: f64) -> usize {
-        match self
-            .xs
-            .binary_search_by(|v| v.partial_cmp(&x).expect("non-finite knot"))
-        {
+        match self.xs.binary_search_by(|v| v.total_cmp(&x)) {
             Ok(i) => i.min(self.xs.len() - 2),
             Err(ins) => ins.saturating_sub(1).min(self.xs.len() - 2),
         }

@@ -261,7 +261,7 @@ mod tests {
         let d = LogNormal::from_median(10.0, 0.8);
         let mut rng = StdRng::seed_from_u64(3);
         let mut samples: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(|a, b| a.total_cmp(b));
         let median = samples[samples.len() / 2];
         assert!((median - 10.0).abs() / 10.0 < 0.05, "median {median}");
     }

@@ -18,7 +18,7 @@ pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Some(quantile_sorted(&sorted, q))
 }
 
@@ -68,7 +68,7 @@ impl Summary {
             return None;
         }
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let n = sorted.len() as f64;
         let mean = sorted.iter().sum::<f64>() / n;
         let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;

@@ -90,11 +90,18 @@ impl PartialOrd for Timed {
     }
 }
 
+/// State shared between the emulator thread and its handle: the stop
+/// flag and the packet counters, behind a single `Arc`.
+#[derive(Debug, Default)]
+struct EmulatorShared {
+    stop: AtomicBool,
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+}
+
 /// A running emulator thread.
 pub struct EmulatorHandle {
-    stop: Arc<AtomicBool>,
-    forwarded: Arc<AtomicU64>,
-    dropped: Arc<AtomicU64>,
+    shared: Arc<EmulatorShared>,
     thread: Option<JoinHandle<()>>,
     ingress_addr: SocketAddr,
 }
@@ -112,26 +119,17 @@ impl Emulator {
         ingress.set_read_timeout(Some(Duration::from_micros(300)))?;
         egress.set_nonblocking(true)?;
 
-        let stop = Arc::new(AtomicBool::new(false));
-        let forwarded = Arc::new(AtomicU64::new(0));
-        let dropped = Arc::new(AtomicU64::new(0));
-        let t_stop = Arc::clone(&stop);
-        let t_forwarded = Arc::clone(&forwarded);
-        let t_dropped = Arc::clone(&dropped);
+        let shared = Arc::new(EmulatorShared::default());
+        let t_shared = Arc::clone(&shared);
 
         let thread = std::thread::Builder::new()
             .name("verus-emulator".into())
             .spawn(move || {
-                run_loop(
-                    &config, clock, &ingress, &egress, &t_stop, &t_forwarded, &t_dropped,
-                );
-            })
-            .expect("spawn emulator thread");
+                run_loop(&config, clock, &ingress, &egress, &t_shared);
+            })?;
 
         Ok(EmulatorHandle {
-            stop,
-            forwarded,
-            dropped,
+            shared,
             thread: Some(thread),
             ingress_addr,
         })
@@ -144,9 +142,7 @@ fn run_loop(
     clock: WallClock,
     ingress: &UdpSocket,
     egress: &UdpSocket,
-    stop: &AtomicBool,
-    forwarded: &AtomicU64,
-    dropped: &AtomicU64,
+    shared: &EmulatorShared,
 ) {
     let opportunities = config.trace.opportunities();
     let base = config.trace.duration().max(SimDuration::from_nanos(1));
@@ -163,7 +159,7 @@ fn run_loop(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut buf = [0u8; 65_536];
 
-    while !stop.load(Ordering::Relaxed) {
+    while !shared.stop.load(Ordering::Relaxed) {
         let now = clock.now();
 
         // 1. Fire due delivery opportunities.
@@ -212,7 +208,7 @@ fn run_loop(
             let Reverse(item) = delay_line.pop().expect("peeked");
             if item.to_receiver {
                 if egress.send_to(&item.payload, config.receiver).is_ok() {
-                    forwarded.fetch_add(1, Ordering::Relaxed);
+                    shared.forwarded.fetch_add(1, Ordering::Relaxed);
                 }
             } else if let Some(addr) = sender_addr {
                 let _ = ingress.send_to(&item.payload, addr);
@@ -225,11 +221,11 @@ fn run_loop(
                 Ok((n, src)) => {
                     sender_addr = Some(src);
                     if config.loss > 0.0 && rng.gen::<f64>() < config.loss {
-                        dropped.fetch_add(1, Ordering::Relaxed);
+                        shared.dropped.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
                     if backlog + n as u64 > config.queue_capacity {
-                        dropped.fetch_add(1, Ordering::Relaxed);
+                        shared.dropped.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
                     backlog += n as u64;
@@ -280,18 +276,18 @@ impl EmulatorHandle {
     /// Data packets forwarded to the receiver so far.
     #[must_use]
     pub fn forwarded(&self) -> u64 {
-        self.forwarded.load(Ordering::Relaxed)
+        self.shared.forwarded.load(Ordering::Relaxed)
     }
 
     /// Data packets dropped (stochastic loss + queue overflow).
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        self.shared.dropped.load(Ordering::Relaxed)
     }
 
     /// Stops the emulator and joins its thread.
     pub fn stop(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.shared.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -300,7 +296,7 @@ impl EmulatorHandle {
 
 impl Drop for EmulatorHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.shared.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }

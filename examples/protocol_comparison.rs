@@ -62,7 +62,7 @@ fn main() {
                 .iter()
                 .flat_map(|r| r.delays_ms.iter().copied())
                 .collect();
-            all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            all.sort_by(|a, b| a.total_cmp(b));
             verus_stats::quantile(&all, 0.95).unwrap_or(0.0)
         };
         rows.push(vec![

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# CI entry point: build, test, then static-analyse the workspace.
+#
+# The verus-check pass runs last so that compile/test failures surface
+# first; it exits non-zero on any diagnostic, which fails the pipeline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo run -p verus-check
