@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-d4d5a7f04aac743f.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/libablations-d4d5a7f04aac743f.rmeta: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

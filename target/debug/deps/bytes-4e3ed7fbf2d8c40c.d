@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-4e3ed7fbf2d8c40c.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-4e3ed7fbf2d8c40c.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

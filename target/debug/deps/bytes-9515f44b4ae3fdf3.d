@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-9515f44b4ae3fdf3.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-9515f44b4ae3fdf3.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-9515f44b4ae3fdf3.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

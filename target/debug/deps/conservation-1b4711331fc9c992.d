@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conservation-1b4711331fc9c992.d: crates/netsim/tests/conservation.rs
+
+/root/repo/target/debug/deps/libconservation-1b4711331fc9c992.rmeta: crates/netsim/tests/conservation.rs
+
+crates/netsim/tests/conservation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_substrate-711aea208a87a300.d: crates/bench/../../tests/cross_substrate.rs
+
+/root/repo/target/debug/deps/libcross_substrate-711aea208a87a300.rmeta: crates/bench/../../tests/cross_substrate.rs
+
+crates/bench/../../tests/cross_substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-424715133a83f65e.d: crates/bench/../../tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-424715133a83f65e.rmeta: crates/bench/../../tests/end_to_end.rs
+
+crates/bench/../../tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_burst_arrivals-b09b5bb16bc6f8dc.d: crates/bench/src/bin/fig01_burst_arrivals.rs
+
+/root/repo/target/debug/deps/libfig01_burst_arrivals-b09b5bb16bc6f8dc.rmeta: crates/bench/src/bin/fig01_burst_arrivals.rs
+
+crates/bench/src/bin/fig01_burst_arrivals.rs:

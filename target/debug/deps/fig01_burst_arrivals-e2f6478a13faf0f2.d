@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_burst_arrivals-e2f6478a13faf0f2.d: crates/bench/src/bin/fig01_burst_arrivals.rs
+
+/root/repo/target/debug/deps/libfig01_burst_arrivals-e2f6478a13faf0f2.rmeta: crates/bench/src/bin/fig01_burst_arrivals.rs
+
+crates/bench/src/bin/fig01_burst_arrivals.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_burst_pdfs-1ccb8266add92066.d: crates/bench/src/bin/fig02_burst_pdfs.rs
+
+/root/repo/target/debug/deps/libfig02_burst_pdfs-1ccb8266add92066.rmeta: crates/bench/src/bin/fig02_burst_pdfs.rs
+
+crates/bench/src/bin/fig02_burst_pdfs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_burst_pdfs-3ff9214751c871cd.d: crates/bench/src/bin/fig02_burst_pdfs.rs
+
+/root/repo/target/debug/deps/libfig02_burst_pdfs-3ff9214751c871cd.rmeta: crates/bench/src/bin/fig02_burst_pdfs.rs
+
+crates/bench/src/bin/fig02_burst_pdfs.rs:

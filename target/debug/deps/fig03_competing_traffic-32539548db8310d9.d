@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_competing_traffic-32539548db8310d9.d: crates/bench/src/bin/fig03_competing_traffic.rs
+
+/root/repo/target/debug/deps/libfig03_competing_traffic-32539548db8310d9.rmeta: crates/bench/src/bin/fig03_competing_traffic.rs
+
+crates/bench/src/bin/fig03_competing_traffic.rs:

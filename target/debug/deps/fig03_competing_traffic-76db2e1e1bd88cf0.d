@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_competing_traffic-76db2e1e1bd88cf0.d: crates/bench/src/bin/fig03_competing_traffic.rs
+
+/root/repo/target/debug/deps/libfig03_competing_traffic-76db2e1e1bd88cf0.rmeta: crates/bench/src/bin/fig03_competing_traffic.rs
+
+crates/bench/src/bin/fig03_competing_traffic.rs:

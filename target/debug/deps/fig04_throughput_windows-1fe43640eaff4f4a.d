@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_throughput_windows-1fe43640eaff4f4a.d: crates/bench/src/bin/fig04_throughput_windows.rs
+
+/root/repo/target/debug/deps/fig04_throughput_windows-1fe43640eaff4f4a: crates/bench/src/bin/fig04_throughput_windows.rs
+
+crates/bench/src/bin/fig04_throughput_windows.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_throughput_windows-2eac68c2187bebef.d: crates/bench/src/bin/fig04_throughput_windows.rs
+
+/root/repo/target/debug/deps/libfig04_throughput_windows-2eac68c2187bebef.rmeta: crates/bench/src/bin/fig04_throughput_windows.rs
+
+crates/bench/src/bin/fig04_throughput_windows.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_throughput_windows-ac9c9e023f9ad223.d: crates/bench/src/bin/fig04_throughput_windows.rs
+
+/root/repo/target/debug/deps/libfig04_throughput_windows-ac9c9e023f9ad223.rmeta: crates/bench/src/bin/fig04_throughput_windows.rs
+
+crates/bench/src/bin/fig04_throughput_windows.rs:

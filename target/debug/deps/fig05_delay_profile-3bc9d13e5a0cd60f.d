@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_delay_profile-3bc9d13e5a0cd60f.d: crates/bench/src/bin/fig05_delay_profile.rs
+
+/root/repo/target/debug/deps/libfig05_delay_profile-3bc9d13e5a0cd60f.rmeta: crates/bench/src/bin/fig05_delay_profile.rs
+
+crates/bench/src/bin/fig05_delay_profile.rs:

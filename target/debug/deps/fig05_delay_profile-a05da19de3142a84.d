@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_delay_profile-a05da19de3142a84.d: crates/bench/src/bin/fig05_delay_profile.rs
+
+/root/repo/target/debug/deps/libfig05_delay_profile-a05da19de3142a84.rmeta: crates/bench/src/bin/fig05_delay_profile.rs
+
+crates/bench/src/bin/fig05_delay_profile.rs:

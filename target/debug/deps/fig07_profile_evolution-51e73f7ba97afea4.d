@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_profile_evolution-51e73f7ba97afea4.d: crates/bench/src/bin/fig07_profile_evolution.rs
+
+/root/repo/target/debug/deps/libfig07_profile_evolution-51e73f7ba97afea4.rmeta: crates/bench/src/bin/fig07_profile_evolution.rs
+
+crates/bench/src/bin/fig07_profile_evolution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_profile_evolution-f3a242c7f3112863.d: crates/bench/src/bin/fig07_profile_evolution.rs
+
+/root/repo/target/debug/deps/libfig07_profile_evolution-f3a242c7f3112863.rmeta: crates/bench/src/bin/fig07_profile_evolution.rs
+
+crates/bench/src/bin/fig07_profile_evolution.rs:

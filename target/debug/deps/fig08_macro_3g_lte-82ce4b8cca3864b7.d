@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_macro_3g_lte-82ce4b8cca3864b7.d: crates/bench/src/bin/fig08_macro_3g_lte.rs
+
+/root/repo/target/debug/deps/libfig08_macro_3g_lte-82ce4b8cca3864b7.rmeta: crates/bench/src/bin/fig08_macro_3g_lte.rs
+
+crates/bench/src/bin/fig08_macro_3g_lte.rs:

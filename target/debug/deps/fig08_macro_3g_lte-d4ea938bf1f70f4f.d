@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_macro_3g_lte-d4ea938bf1f70f4f.d: crates/bench/src/bin/fig08_macro_3g_lte.rs
+
+/root/repo/target/debug/deps/libfig08_macro_3g_lte-d4ea938bf1f70f4f.rmeta: crates/bench/src/bin/fig08_macro_3g_lte.rs
+
+crates/bench/src/bin/fig08_macro_3g_lte.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_r_tradeoff-084fd73a405f49dc.d: crates/bench/src/bin/fig09_r_tradeoff.rs
+
+/root/repo/target/debug/deps/libfig09_r_tradeoff-084fd73a405f49dc.rmeta: crates/bench/src/bin/fig09_r_tradeoff.rs
+
+crates/bench/src/bin/fig09_r_tradeoff.rs:

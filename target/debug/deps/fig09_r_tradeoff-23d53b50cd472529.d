@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_r_tradeoff-23d53b50cd472529.d: crates/bench/src/bin/fig09_r_tradeoff.rs
+
+/root/repo/target/debug/deps/libfig09_r_tradeoff-23d53b50cd472529.rmeta: crates/bench/src/bin/fig09_r_tradeoff.rs
+
+crates/bench/src/bin/fig09_r_tradeoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_mobility_scatter-2601936195f5dfe4.d: crates/bench/src/bin/fig10_mobility_scatter.rs
+
+/root/repo/target/debug/deps/libfig10_mobility_scatter-2601936195f5dfe4.rmeta: crates/bench/src/bin/fig10_mobility_scatter.rs
+
+crates/bench/src/bin/fig10_mobility_scatter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_rapid_change-1c8a7299adfcce34.d: crates/bench/src/bin/fig11_rapid_change.rs
+
+/root/repo/target/debug/deps/libfig11_rapid_change-1c8a7299adfcce34.rmeta: crates/bench/src/bin/fig11_rapid_change.rs
+
+crates/bench/src/bin/fig11_rapid_change.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_rapid_change-e4ea393a1a8b05e4.d: crates/bench/src/bin/fig11_rapid_change.rs
+
+/root/repo/target/debug/deps/libfig11_rapid_change-e4ea393a1a8b05e4.rmeta: crates/bench/src/bin/fig11_rapid_change.rs
+
+crates/bench/src/bin/fig11_rapid_change.rs:

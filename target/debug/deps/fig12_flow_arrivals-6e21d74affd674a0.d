@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_flow_arrivals-6e21d74affd674a0.d: crates/bench/src/bin/fig12_flow_arrivals.rs
+
+/root/repo/target/debug/deps/libfig12_flow_arrivals-6e21d74affd674a0.rmeta: crates/bench/src/bin/fig12_flow_arrivals.rs
+
+crates/bench/src/bin/fig12_flow_arrivals.rs:

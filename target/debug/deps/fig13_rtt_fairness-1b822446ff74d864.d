@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_rtt_fairness-1b822446ff74d864.d: crates/bench/src/bin/fig13_rtt_fairness.rs
+
+/root/repo/target/debug/deps/libfig13_rtt_fairness-1b822446ff74d864.rmeta: crates/bench/src/bin/fig13_rtt_fairness.rs
+
+crates/bench/src/bin/fig13_rtt_fairness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_rtt_fairness-239e7478e3ce53e7.d: crates/bench/src/bin/fig13_rtt_fairness.rs
+
+/root/repo/target/debug/deps/libfig13_rtt_fairness-239e7478e3ce53e7.rmeta: crates/bench/src/bin/fig13_rtt_fairness.rs
+
+crates/bench/src/bin/fig13_rtt_fairness.rs:

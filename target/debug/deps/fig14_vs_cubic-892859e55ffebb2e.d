@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_vs_cubic-892859e55ffebb2e.d: crates/bench/src/bin/fig14_vs_cubic.rs
+
+/root/repo/target/debug/deps/libfig14_vs_cubic-892859e55ffebb2e.rmeta: crates/bench/src/bin/fig14_vs_cubic.rs
+
+crates/bench/src/bin/fig14_vs_cubic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_vs_cubic-f203e11835031060.d: crates/bench/src/bin/fig14_vs_cubic.rs
+
+/root/repo/target/debug/deps/libfig14_vs_cubic-f203e11835031060.rmeta: crates/bench/src/bin/fig14_vs_cubic.rs
+
+crates/bench/src/bin/fig14_vs_cubic.rs:

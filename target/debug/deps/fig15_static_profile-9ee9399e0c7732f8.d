@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_static_profile-9ee9399e0c7732f8.d: crates/bench/src/bin/fig15_static_profile.rs
+
+/root/repo/target/debug/deps/libfig15_static_profile-9ee9399e0c7732f8.rmeta: crates/bench/src/bin/fig15_static_profile.rs
+
+crates/bench/src/bin/fig15_static_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_static_profile-b2395fb411cb8722.d: crates/bench/src/bin/fig15_static_profile.rs
+
+/root/repo/target/debug/deps/libfig15_static_profile-b2395fb411cb8722.rmeta: crates/bench/src/bin/fig15_static_profile.rs
+
+crates/bench/src/bin/fig15_static_profile.rs:

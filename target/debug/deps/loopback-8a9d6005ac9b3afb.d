@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loopback-8a9d6005ac9b3afb.d: crates/transport/tests/loopback.rs
+
+/root/repo/target/debug/deps/libloopback-8a9d6005ac9b3afb.rmeta: crates/transport/tests/loopback.rs
+
+crates/transport/tests/loopback.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-b4e15031d88b8d52.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-b4e15031d88b8d52.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

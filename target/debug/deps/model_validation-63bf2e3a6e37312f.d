@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_validation-63bf2e3a6e37312f.d: crates/bench/../../tests/model_validation.rs
+
+/root/repo/target/debug/deps/libmodel_validation-63bf2e3a6e37312f.rmeta: crates/bench/../../tests/model_validation.rs
+
+crates/bench/../../tests/model_validation.rs:

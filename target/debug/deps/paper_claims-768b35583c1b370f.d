@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-768b35583c1b370f.d: crates/bench/../../tests/paper_claims.rs
+
+/root/repo/target/debug/deps/libpaper_claims-768b35583c1b370f.rmeta: crates/bench/../../tests/paper_claims.rs
+
+crates/bench/../../tests/paper_claims.rs:

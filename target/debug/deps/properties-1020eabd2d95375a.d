@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1020eabd2d95375a.d: crates/stats/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-1020eabd2d95375a.rmeta: crates/stats/tests/properties.rs
+
+crates/stats/tests/properties.rs:

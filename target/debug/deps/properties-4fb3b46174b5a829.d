@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4fb3b46174b5a829.d: crates/cellular/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-4fb3b46174b5a829.rmeta: crates/cellular/tests/properties.rs
+
+crates/cellular/tests/properties.rs:

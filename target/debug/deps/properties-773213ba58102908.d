@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-773213ba58102908.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-773213ba58102908.rmeta: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

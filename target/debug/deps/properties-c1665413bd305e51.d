@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c1665413bd305e51.d: crates/netsim/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-c1665413bd305e51.rmeta: crates/netsim/tests/properties.rs
+
+crates/netsim/tests/properties.rs:

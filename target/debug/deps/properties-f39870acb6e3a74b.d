@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f39870acb6e3a74b.d: crates/spline/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-f39870acb6e3a74b.rmeta: crates/spline/tests/properties.rs
+
+crates/spline/tests/properties.rs:

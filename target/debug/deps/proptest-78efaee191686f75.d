@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-78efaee191686f75.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-78efaee191686f75.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

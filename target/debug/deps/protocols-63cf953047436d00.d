@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocols-63cf953047436d00.d: crates/netsim/tests/protocols.rs
+
+/root/repo/target/debug/deps/libprotocols-63cf953047436d00.rmeta: crates/netsim/tests/protocols.rs
+
+crates/netsim/tests/protocols.rs:

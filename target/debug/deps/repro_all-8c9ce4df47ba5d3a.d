@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-8c9ce4df47ba5d3a.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/librepro_all-8c9ce4df47ba5d3a.rmeta: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-a5c1677fa869f1ed.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/librepro_all-a5c1677fa869f1ed.rmeta: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

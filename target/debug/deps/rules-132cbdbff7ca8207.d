@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rules-132cbdbff7ca8207.d: crates/check/tests/rules.rs
+
+/root/repo/target/debug/deps/librules-132cbdbff7ca8207.rmeta: crates/check/tests/rules.rs
+
+crates/check/tests/rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec3_predictability-1e290ac4be95b777.d: crates/bench/src/bin/sec3_predictability.rs
+
+/root/repo/target/debug/deps/libsec3_predictability-1e290ac4be95b777.rmeta: crates/bench/src/bin/sec3_predictability.rs
+
+crates/bench/src/bin/sec3_predictability.rs:

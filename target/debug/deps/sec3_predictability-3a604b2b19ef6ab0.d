@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec3_predictability-3a604b2b19ef6ab0.d: crates/bench/src/bin/sec3_predictability.rs
+
+/root/repo/target/debug/deps/libsec3_predictability-3a604b2b19ef6ab0.rmeta: crates/bench/src/bin/sec3_predictability.rs
+
+crates/bench/src/bin/sec3_predictability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec53_sensitivity-a8d4c62a9909a192.d: crates/bench/src/bin/sec53_sensitivity.rs
+
+/root/repo/target/debug/deps/libsec53_sensitivity-a8d4c62a9909a192.rmeta: crates/bench/src/bin/sec53_sensitivity.rs
+
+crates/bench/src/bin/sec53_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec53_sensitivity-b63e024f24b9fd6b.d: crates/bench/src/bin/sec53_sensitivity.rs
+
+/root/repo/target/debug/deps/libsec53_sensitivity-b63e024f24b9fd6b.rmeta: crates/bench/src/bin/sec53_sensitivity.rs
+
+crates/bench/src/bin/sec53_sensitivity.rs:

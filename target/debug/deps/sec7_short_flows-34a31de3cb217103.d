@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec7_short_flows-34a31de3cb217103.d: crates/bench/src/bin/sec7_short_flows.rs
+
+/root/repo/target/debug/deps/libsec7_short_flows-34a31de3cb217103.rmeta: crates/bench/src/bin/sec7_short_flows.rs
+
+crates/bench/src/bin/sec7_short_flows.rs:

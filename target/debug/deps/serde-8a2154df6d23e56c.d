@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-8a2154df6d23e56c.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-8a2154df6d23e56c.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-ee458abd0c126f5d.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ee458abd0c126f5d.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ee458abd0c126f5d.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

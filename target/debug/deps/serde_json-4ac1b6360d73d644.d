@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-4ac1b6360d73d644.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-4ac1b6360d73d644.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-4ac1b6360d73d644.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

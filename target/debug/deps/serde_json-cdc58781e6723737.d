@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-cdc58781e6723737.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-cdc58781e6723737.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_jain_fairness-afb529838cd21ec9.d: crates/bench/src/bin/table1_jain_fairness.rs
+
+/root/repo/target/debug/deps/libtable1_jain_fairness-afb529838cd21ec9.rmeta: crates/bench/src/bin/table1_jain_fairness.rs
+
+crates/bench/src/bin/table1_jain_fairness.rs:

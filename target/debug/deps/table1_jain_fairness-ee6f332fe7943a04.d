@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_jain_fairness-ee6f332fe7943a04.d: crates/bench/src/bin/table1_jain_fairness.rs
+
+/root/repo/target/debug/deps/libtable1_jain_fairness-ee6f332fe7943a04.rmeta: crates/bench/src/bin/table1_jain_fairness.rs
+
+crates/bench/src/bin/table1_jain_fairness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verus_baselines-6c989a438c37e452.d: crates/baselines/src/lib.rs crates/baselines/src/cubic.rs crates/baselines/src/newreno.rs crates/baselines/src/sprout.rs crates/baselines/src/vegas.rs
+
+/root/repo/target/debug/deps/libverus_baselines-6c989a438c37e452.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cubic.rs crates/baselines/src/newreno.rs crates/baselines/src/sprout.rs crates/baselines/src/vegas.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cubic.rs:
+crates/baselines/src/newreno.rs:
+crates/baselines/src/sprout.rs:
+crates/baselines/src/vegas.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/verus_baselines-81b6fc7416df7662.d: crates/baselines/src/lib.rs crates/baselines/src/cubic.rs crates/baselines/src/newreno.rs crates/baselines/src/sprout.rs crates/baselines/src/vegas.rs
+
+/root/repo/target/debug/deps/libverus_baselines-81b6fc7416df7662.rlib: crates/baselines/src/lib.rs crates/baselines/src/cubic.rs crates/baselines/src/newreno.rs crates/baselines/src/sprout.rs crates/baselines/src/vegas.rs
+
+/root/repo/target/debug/deps/libverus_baselines-81b6fc7416df7662.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cubic.rs crates/baselines/src/newreno.rs crates/baselines/src/sprout.rs crates/baselines/src/vegas.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cubic.rs:
+crates/baselines/src/newreno.rs:
+crates/baselines/src/sprout.rs:
+crates/baselines/src/vegas.rs:

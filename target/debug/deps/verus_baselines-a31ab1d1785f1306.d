@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/verus_baselines-a31ab1d1785f1306.d: crates/baselines/src/lib.rs crates/baselines/src/cubic.rs crates/baselines/src/newreno.rs crates/baselines/src/sprout.rs crates/baselines/src/vegas.rs crates/baselines/src/conformance.rs
+
+/root/repo/target/debug/deps/libverus_baselines-a31ab1d1785f1306.rmeta: crates/baselines/src/lib.rs crates/baselines/src/cubic.rs crates/baselines/src/newreno.rs crates/baselines/src/sprout.rs crates/baselines/src/vegas.rs crates/baselines/src/conformance.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/cubic.rs:
+crates/baselines/src/newreno.rs:
+crates/baselines/src/sprout.rs:
+crates/baselines/src/vegas.rs:
+crates/baselines/src/conformance.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/verus_bench-32d9b58ddf221644.d: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/libverus_bench-32d9b58ddf221644.rmeta: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/runners.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/output.rs:
+crates/bench/src/runners.rs:

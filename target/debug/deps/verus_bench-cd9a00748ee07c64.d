@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/verus_bench-cd9a00748ee07c64.d: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/libverus_bench-cd9a00748ee07c64.rmeta: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/runners.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/output.rs:
+crates/bench/src/runners.rs:

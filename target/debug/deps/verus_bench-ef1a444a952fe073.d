@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verus_bench-ef1a444a952fe073.d: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/libverus_bench-ef1a444a952fe073.rlib: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/runners.rs
+
+/root/repo/target/debug/deps/libverus_bench-ef1a444a952fe073.rmeta: crates/bench/src/lib.rs crates/bench/src/output.rs crates/bench/src/runners.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/output.rs:
+crates/bench/src/runners.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/verus_cellular-401324361b12b519.d: crates/cellular/src/lib.rs crates/cellular/src/burst.rs crates/cellular/src/fading.rs crates/cellular/src/predictors.rs crates/cellular/src/scenarios.rs crates/cellular/src/scheduler.rs crates/cellular/src/trace.rs
+
+/root/repo/target/debug/deps/libverus_cellular-401324361b12b519.rmeta: crates/cellular/src/lib.rs crates/cellular/src/burst.rs crates/cellular/src/fading.rs crates/cellular/src/predictors.rs crates/cellular/src/scenarios.rs crates/cellular/src/scheduler.rs crates/cellular/src/trace.rs
+
+crates/cellular/src/lib.rs:
+crates/cellular/src/burst.rs:
+crates/cellular/src/fading.rs:
+crates/cellular/src/predictors.rs:
+crates/cellular/src/scenarios.rs:
+crates/cellular/src/scheduler.rs:
+crates/cellular/src/trace.rs:

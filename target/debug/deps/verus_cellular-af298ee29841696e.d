@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/verus_cellular-af298ee29841696e.d: crates/cellular/src/lib.rs crates/cellular/src/burst.rs crates/cellular/src/fading.rs crates/cellular/src/predictors.rs crates/cellular/src/scenarios.rs crates/cellular/src/scheduler.rs crates/cellular/src/trace.rs
+
+/root/repo/target/debug/deps/libverus_cellular-af298ee29841696e.rlib: crates/cellular/src/lib.rs crates/cellular/src/burst.rs crates/cellular/src/fading.rs crates/cellular/src/predictors.rs crates/cellular/src/scenarios.rs crates/cellular/src/scheduler.rs crates/cellular/src/trace.rs
+
+/root/repo/target/debug/deps/libverus_cellular-af298ee29841696e.rmeta: crates/cellular/src/lib.rs crates/cellular/src/burst.rs crates/cellular/src/fading.rs crates/cellular/src/predictors.rs crates/cellular/src/scenarios.rs crates/cellular/src/scheduler.rs crates/cellular/src/trace.rs
+
+crates/cellular/src/lib.rs:
+crates/cellular/src/burst.rs:
+crates/cellular/src/fading.rs:
+crates/cellular/src/predictors.rs:
+crates/cellular/src/scenarios.rs:
+crates/cellular/src/scheduler.rs:
+crates/cellular/src/trace.rs:

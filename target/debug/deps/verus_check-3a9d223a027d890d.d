@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verus_check-3a9d223a027d890d.d: crates/check/src/lib.rs
+
+/root/repo/target/debug/deps/libverus_check-3a9d223a027d890d.rmeta: crates/check/src/lib.rs
+
+crates/check/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verus_check-3efda898f99a7b97.d: crates/check/src/lib.rs
+
+/root/repo/target/debug/deps/libverus_check-3efda898f99a7b97.rmeta: crates/check/src/lib.rs
+
+crates/check/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verus_check-8b3d73ccd1082af8.d: crates/check/src/main.rs
+
+/root/repo/target/debug/deps/libverus_check-8b3d73ccd1082af8.rmeta: crates/check/src/main.rs
+
+crates/check/src/main.rs:

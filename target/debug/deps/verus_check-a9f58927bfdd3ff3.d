@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verus_check-a9f58927bfdd3ff3.d: crates/check/src/main.rs
+
+/root/repo/target/debug/deps/libverus_check-a9f58927bfdd3ff3.rmeta: crates/check/src/main.rs
+
+crates/check/src/main.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/verus_core-34934589831843be.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delay.rs crates/core/src/invariants.rs crates/core/src/loss.rs crates/core/src/model.rs crates/core/src/profile.rs crates/core/src/sender.rs crates/core/src/window.rs
+
+/root/repo/target/debug/deps/libverus_core-34934589831843be.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delay.rs crates/core/src/invariants.rs crates/core/src/loss.rs crates/core/src/model.rs crates/core/src/profile.rs crates/core/src/sender.rs crates/core/src/window.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/delay.rs:
+crates/core/src/invariants.rs:
+crates/core/src/loss.rs:
+crates/core/src/model.rs:
+crates/core/src/profile.rs:
+crates/core/src/sender.rs:
+crates/core/src/window.rs:

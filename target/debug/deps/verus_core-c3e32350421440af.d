@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/verus_core-c3e32350421440af.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delay.rs crates/core/src/invariants.rs crates/core/src/loss.rs crates/core/src/model.rs crates/core/src/profile.rs crates/core/src/sender.rs crates/core/src/window.rs
+
+/root/repo/target/debug/deps/libverus_core-c3e32350421440af.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delay.rs crates/core/src/invariants.rs crates/core/src/loss.rs crates/core/src/model.rs crates/core/src/profile.rs crates/core/src/sender.rs crates/core/src/window.rs
+
+/root/repo/target/debug/deps/libverus_core-c3e32350421440af.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delay.rs crates/core/src/invariants.rs crates/core/src/loss.rs crates/core/src/model.rs crates/core/src/profile.rs crates/core/src/sender.rs crates/core/src/window.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/delay.rs:
+crates/core/src/invariants.rs:
+crates/core/src/loss.rs:
+crates/core/src/model.rs:
+crates/core/src/profile.rs:
+crates/core/src/sender.rs:
+crates/core/src/window.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/verus_core-dfc25d8a4b2b0c0d.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delay.rs crates/core/src/invariants.rs crates/core/src/loss.rs crates/core/src/model.rs crates/core/src/profile.rs crates/core/src/sender.rs crates/core/src/window.rs
+
+/root/repo/target/debug/deps/libverus_core-dfc25d8a4b2b0c0d.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/delay.rs crates/core/src/invariants.rs crates/core/src/loss.rs crates/core/src/model.rs crates/core/src/profile.rs crates/core/src/sender.rs crates/core/src/window.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/delay.rs:
+crates/core/src/invariants.rs:
+crates/core/src/loss.rs:
+crates/core/src/model.rs:
+crates/core/src/profile.rs:
+crates/core/src/sender.rs:
+crates/core/src/window.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verus_emulate-279d2169cf805b5c.d: crates/transport/src/bin/verus-emulate.rs
+
+/root/repo/target/debug/deps/libverus_emulate-279d2169cf805b5c.rmeta: crates/transport/src/bin/verus-emulate.rs
+
+crates/transport/src/bin/verus-emulate.rs:

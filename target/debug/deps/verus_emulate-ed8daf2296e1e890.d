@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verus_emulate-ed8daf2296e1e890.d: crates/transport/src/bin/verus-emulate.rs
+
+/root/repo/target/debug/deps/libverus_emulate-ed8daf2296e1e890.rmeta: crates/transport/src/bin/verus-emulate.rs
+
+crates/transport/src/bin/verus-emulate.rs:

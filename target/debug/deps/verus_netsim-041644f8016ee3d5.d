@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/verus_netsim-041644f8016ee3d5.d: crates/netsim/src/lib.rs crates/netsim/src/bottleneck.rs crates/netsim/src/config.rs crates/netsim/src/invariants.rs crates/netsim/src/metrics.rs crates/netsim/src/queue.rs crates/netsim/src/sim.rs
+
+/root/repo/target/debug/deps/libverus_netsim-041644f8016ee3d5.rmeta: crates/netsim/src/lib.rs crates/netsim/src/bottleneck.rs crates/netsim/src/config.rs crates/netsim/src/invariants.rs crates/netsim/src/metrics.rs crates/netsim/src/queue.rs crates/netsim/src/sim.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/bottleneck.rs:
+crates/netsim/src/config.rs:
+crates/netsim/src/invariants.rs:
+crates/netsim/src/metrics.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/sim.rs:

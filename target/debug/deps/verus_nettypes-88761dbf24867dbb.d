@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verus_nettypes-88761dbf24867dbb.d: crates/nettypes/src/lib.rs crates/nettypes/src/cc.rs crates/nettypes/src/packet.rs crates/nettypes/src/rtt.rs crates/nettypes/src/time.rs
+
+/root/repo/target/debug/deps/libverus_nettypes-88761dbf24867dbb.rmeta: crates/nettypes/src/lib.rs crates/nettypes/src/cc.rs crates/nettypes/src/packet.rs crates/nettypes/src/rtt.rs crates/nettypes/src/time.rs
+
+crates/nettypes/src/lib.rs:
+crates/nettypes/src/cc.rs:
+crates/nettypes/src/packet.rs:
+crates/nettypes/src/rtt.rs:
+crates/nettypes/src/time.rs:

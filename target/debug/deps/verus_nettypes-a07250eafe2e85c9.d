@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/verus_nettypes-a07250eafe2e85c9.d: crates/nettypes/src/lib.rs crates/nettypes/src/cc.rs crates/nettypes/src/packet.rs crates/nettypes/src/rtt.rs crates/nettypes/src/time.rs
+
+/root/repo/target/debug/deps/libverus_nettypes-a07250eafe2e85c9.rlib: crates/nettypes/src/lib.rs crates/nettypes/src/cc.rs crates/nettypes/src/packet.rs crates/nettypes/src/rtt.rs crates/nettypes/src/time.rs
+
+/root/repo/target/debug/deps/libverus_nettypes-a07250eafe2e85c9.rmeta: crates/nettypes/src/lib.rs crates/nettypes/src/cc.rs crates/nettypes/src/packet.rs crates/nettypes/src/rtt.rs crates/nettypes/src/time.rs
+
+crates/nettypes/src/lib.rs:
+crates/nettypes/src/cc.rs:
+crates/nettypes/src/packet.rs:
+crates/nettypes/src/rtt.rs:
+crates/nettypes/src/time.rs:

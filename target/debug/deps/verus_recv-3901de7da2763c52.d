@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verus_recv-3901de7da2763c52.d: crates/transport/src/bin/verus-recv.rs
+
+/root/repo/target/debug/deps/libverus_recv-3901de7da2763c52.rmeta: crates/transport/src/bin/verus-recv.rs
+
+crates/transport/src/bin/verus-recv.rs:

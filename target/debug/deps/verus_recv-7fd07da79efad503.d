@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verus_recv-7fd07da79efad503.d: crates/transport/src/bin/verus-recv.rs
+
+/root/repo/target/debug/deps/libverus_recv-7fd07da79efad503.rmeta: crates/transport/src/bin/verus-recv.rs
+
+crates/transport/src/bin/verus-recv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verus_send-4ae3e7b2dc729c13.d: crates/transport/src/bin/verus-send.rs
+
+/root/repo/target/debug/deps/libverus_send-4ae3e7b2dc729c13.rmeta: crates/transport/src/bin/verus-send.rs
+
+crates/transport/src/bin/verus-send.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verus_send-ae8c14dfc53f8802.d: crates/transport/src/bin/verus-send.rs
+
+/root/repo/target/debug/deps/libverus_send-ae8c14dfc53f8802.rmeta: crates/transport/src/bin/verus-send.rs
+
+crates/transport/src/bin/verus-send.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/verus_spline-24aede5be9c1fd75.d: crates/spline/src/lib.rs crates/spline/src/monotone.rs crates/spline/src/natural.rs
+
+/root/repo/target/debug/deps/libverus_spline-24aede5be9c1fd75.rmeta: crates/spline/src/lib.rs crates/spline/src/monotone.rs crates/spline/src/natural.rs
+
+crates/spline/src/lib.rs:
+crates/spline/src/monotone.rs:
+crates/spline/src/natural.rs:

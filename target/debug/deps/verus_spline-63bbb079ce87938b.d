@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/verus_spline-63bbb079ce87938b.d: crates/spline/src/lib.rs crates/spline/src/monotone.rs crates/spline/src/natural.rs
+
+/root/repo/target/debug/deps/libverus_spline-63bbb079ce87938b.rmeta: crates/spline/src/lib.rs crates/spline/src/monotone.rs crates/spline/src/natural.rs
+
+crates/spline/src/lib.rs:
+crates/spline/src/monotone.rs:
+crates/spline/src/natural.rs:

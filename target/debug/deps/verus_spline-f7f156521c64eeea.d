@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verus_spline-f7f156521c64eeea.d: crates/spline/src/lib.rs crates/spline/src/monotone.rs crates/spline/src/natural.rs
+
+/root/repo/target/debug/deps/libverus_spline-f7f156521c64eeea.rlib: crates/spline/src/lib.rs crates/spline/src/monotone.rs crates/spline/src/natural.rs
+
+/root/repo/target/debug/deps/libverus_spline-f7f156521c64eeea.rmeta: crates/spline/src/lib.rs crates/spline/src/monotone.rs crates/spline/src/natural.rs
+
+crates/spline/src/lib.rs:
+crates/spline/src/monotone.rs:
+crates/spline/src/natural.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/verus_stats-d78834cb9414b691.d: crates/stats/src/lib.rs crates/stats/src/dist.rs crates/stats/src/ewma.rs crates/stats/src/histogram.rs crates/stats/src/jain.rs crates/stats/src/quantile.rs crates/stats/src/running.rs crates/stats/src/timeseries.rs
+
+/root/repo/target/debug/deps/libverus_stats-d78834cb9414b691.rlib: crates/stats/src/lib.rs crates/stats/src/dist.rs crates/stats/src/ewma.rs crates/stats/src/histogram.rs crates/stats/src/jain.rs crates/stats/src/quantile.rs crates/stats/src/running.rs crates/stats/src/timeseries.rs
+
+/root/repo/target/debug/deps/libverus_stats-d78834cb9414b691.rmeta: crates/stats/src/lib.rs crates/stats/src/dist.rs crates/stats/src/ewma.rs crates/stats/src/histogram.rs crates/stats/src/jain.rs crates/stats/src/quantile.rs crates/stats/src/running.rs crates/stats/src/timeseries.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/ewma.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/jain.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/running.rs:
+crates/stats/src/timeseries.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/verus_stats-fab4fb8edbd9a5c4.d: crates/stats/src/lib.rs crates/stats/src/dist.rs crates/stats/src/ewma.rs crates/stats/src/histogram.rs crates/stats/src/jain.rs crates/stats/src/quantile.rs crates/stats/src/running.rs crates/stats/src/timeseries.rs
+
+/root/repo/target/debug/deps/libverus_stats-fab4fb8edbd9a5c4.rmeta: crates/stats/src/lib.rs crates/stats/src/dist.rs crates/stats/src/ewma.rs crates/stats/src/histogram.rs crates/stats/src/jain.rs crates/stats/src/quantile.rs crates/stats/src/running.rs crates/stats/src/timeseries.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/ewma.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/jain.rs:
+crates/stats/src/quantile.rs:
+crates/stats/src/running.rs:
+crates/stats/src/timeseries.rs:

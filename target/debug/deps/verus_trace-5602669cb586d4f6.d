@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verus_trace-5602669cb586d4f6.d: crates/cellular/src/bin/verus-trace.rs
+
+/root/repo/target/debug/deps/libverus_trace-5602669cb586d4f6.rmeta: crates/cellular/src/bin/verus-trace.rs
+
+crates/cellular/src/bin/verus-trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verus_trace-bf843a85075a2cdc.d: crates/cellular/src/bin/verus-trace.rs
+
+/root/repo/target/debug/deps/libverus_trace-bf843a85075a2cdc.rmeta: crates/cellular/src/bin/verus-trace.rs
+
+crates/cellular/src/bin/verus-trace.rs:

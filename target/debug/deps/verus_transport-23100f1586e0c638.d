@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/verus_transport-23100f1586e0c638.d: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/emulator.rs crates/transport/src/receiver.rs crates/transport/src/sender.rs crates/transport/src/stats.rs
+
+/root/repo/target/debug/deps/libverus_transport-23100f1586e0c638.rmeta: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/emulator.rs crates/transport/src/receiver.rs crates/transport/src/sender.rs crates/transport/src/stats.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/clock.rs:
+crates/transport/src/emulator.rs:
+crates/transport/src/receiver.rs:
+crates/transport/src/sender.rs:
+crates/transport/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/verus_transport-77ead648ab7257e5.d: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/emulator.rs crates/transport/src/receiver.rs crates/transport/src/sender.rs crates/transport/src/stats.rs
+
+/root/repo/target/debug/deps/libverus_transport-77ead648ab7257e5.rlib: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/emulator.rs crates/transport/src/receiver.rs crates/transport/src/sender.rs crates/transport/src/stats.rs
+
+/root/repo/target/debug/deps/libverus_transport-77ead648ab7257e5.rmeta: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/emulator.rs crates/transport/src/receiver.rs crates/transport/src/sender.rs crates/transport/src/stats.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/clock.rs:
+crates/transport/src/emulator.rs:
+crates/transport/src/receiver.rs:
+crates/transport/src/sender.rs:
+crates/transport/src/stats.rs:

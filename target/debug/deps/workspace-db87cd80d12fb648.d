@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workspace-db87cd80d12fb648.d: crates/check/tests/workspace.rs
+
+/root/repo/target/debug/deps/libworkspace-db87cd80d12fb648.rmeta: crates/check/tests/workspace.rs
+
+crates/check/tests/workspace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/check

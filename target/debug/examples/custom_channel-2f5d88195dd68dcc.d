@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_channel-2f5d88195dd68dcc.d: crates/bench/../../examples/custom_channel.rs
+
+/root/repo/target/debug/examples/libcustom_channel-2f5d88195dd68dcc.rmeta: crates/bench/../../examples/custom_channel.rs
+
+crates/bench/../../examples/custom_channel.rs:

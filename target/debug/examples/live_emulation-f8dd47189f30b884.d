@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/live_emulation-f8dd47189f30b884.d: crates/bench/../../examples/live_emulation.rs
+
+/root/repo/target/debug/examples/liblive_emulation-f8dd47189f30b884.rmeta: crates/bench/../../examples/live_emulation.rs
+
+crates/bench/../../examples/live_emulation.rs:

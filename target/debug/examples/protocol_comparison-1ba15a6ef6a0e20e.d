@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_comparison-1ba15a6ef6a0e20e.d: crates/bench/../../examples/protocol_comparison.rs
+
+/root/repo/target/debug/examples/libprotocol_comparison-1ba15a6ef6a0e20e.rmeta: crates/bench/../../examples/protocol_comparison.rs
+
+crates/bench/../../examples/protocol_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-84cdc3d18ad07266.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-84cdc3d18ad07266.rmeta: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:
