@@ -39,6 +39,7 @@ fn main() {
         duration: SimDuration::from_secs(30),
         seed: 501,
         throughput_window: SimDuration::from_secs(1),
+        impairments: Default::default(),
     };
 
     let mut snapshot = Fig5::default();

@@ -50,6 +50,7 @@ fn main() {
         duration: SimDuration::from_secs(200),
         seed: 701,
         throughput_window: SimDuration::from_secs(1),
+        impairments: Default::default(),
     };
 
     let mut snapshots: Vec<Snapshot> = Vec::new();

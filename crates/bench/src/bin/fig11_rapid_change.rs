@@ -78,6 +78,7 @@ fn run_protocol(name: &str, sched: &[(SimTime, FixedParams)], seed: u64) -> Prot
         duration: SimDuration::from_secs(DURATION_S),
         seed,
         throughput_window: SimDuration::from_secs(1),
+        impairments: Default::default(),
     };
     let r = Simulation::new(config).unwrap().run().remove(0);
     ProtocolRun {

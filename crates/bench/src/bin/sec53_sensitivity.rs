@@ -39,6 +39,7 @@ fn run_config(config: VerusConfig, seed: u64) -> (f64, f64) {
         duration: SimDuration::from_secs(90),
         seed,
         throughput_window: SimDuration::from_secs(1),
+        impairments: Default::default(),
     };
     let r = Simulation::new(sim).unwrap().run().remove(0);
     (r.mean_throughput_mbps(), r.mean_delay_ms())

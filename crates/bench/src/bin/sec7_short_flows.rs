@@ -49,6 +49,7 @@ fn main() {
                 duration: SimDuration::from_secs(60),
                 seed: 2801 + size_kb,
                 throughput_window: SimDuration::from_secs(1),
+                impairments: Default::default(),
             };
             let report = Simulation::new(config).unwrap().run().remove(0);
             row.push(match report.completion_secs {

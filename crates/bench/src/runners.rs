@@ -125,6 +125,7 @@ impl CellExperiment {
             duration: self.duration,
             seed: self.seed,
             throughput_window: SimDuration::from_secs(1),
+            impairments: Default::default(),
         };
         Simulation::new(config).expect("valid config").run()
     }
@@ -176,6 +177,7 @@ impl DumbbellExperiment {
             duration: self.duration,
             seed: self.seed,
             throughput_window: SimDuration::from_secs(1),
+            impairments: Default::default(),
         };
         Simulation::new(config).expect("valid config").run()
     }

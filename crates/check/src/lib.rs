@@ -16,6 +16,7 @@
 //! | `no-print-in-lib` | lib code outside `bench`, non-test      | `println!`, `eprintln!`, `print!`, `eprint!` |
 //! | `nan-unsafe-cmp`  | everywhere                              | `partial_cmp(..).unwrap()/.expect()/.unwrap_or()` |
 //! | `no-todo`         | everywhere                              | `todo!`, `unimplemented!` |
+//! | `no-truncating-cast` | `netsim`/`transport` lib, non-test   | `as u8`/`as u16`/`as u32`/`as usize` (silent truncation of packet/byte counters) |
 //!
 //! A violation is silenced by a comment on the same line or the line
 //! above: `// verus-check: allow(<rule>)` — with a justification, please.
@@ -38,6 +39,7 @@ pub const RULES: &[&str] = &[
     "no-print-in-lib",
     "nan-unsafe-cmp",
     "no-todo",
+    "no-truncating-cast",
 ];
 
 /// One finding, pointing at a file and 1-based line.
@@ -503,6 +505,36 @@ pub fn scan_source(rel: &Path, text: &str) -> Vec<Diagnostic> {
                 line_of(&src.code, at),
                 format!("`{needle}` must not land on main"),
             );
+        }
+    }
+
+    // Packet and byte counters in the two packet-handling crates are
+    // u64; a narrowing `as` cast silently truncates after 4 GiB / 2³²
+    // packets and corrupts the conservation ledger. `usize` is included
+    // because it is 32-bit on some targets.
+    let cast_scope = info
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| c == "netsim" || c == "transport")
+        && info.kind == TargetKind::Lib;
+    if cast_scope {
+        for needle in ["as u8", "as u16", "as u32", "as usize"] {
+            for at in word_hits(&src.code, needle) {
+                let line = line_of(&src.code, at);
+                if src.line_in_test(line) {
+                    continue;
+                }
+                push(
+                    &src,
+                    "no-truncating-cast",
+                    line,
+                    format!(
+                        "`{needle}` in `{}` packet-handling code can silently truncate \
+                         a counter; use `::try_from` and handle the error",
+                        info.crate_name.as_deref().unwrap_or("?")
+                    ),
+                );
+            }
         }
     }
 

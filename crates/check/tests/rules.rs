@@ -176,6 +176,53 @@ fn todo_fires_anywhere() {
     assert_eq!(rules(&d), ["no-todo"]);
 }
 
+// ---------------------------------------------------------- no-truncating-cast
+
+#[test]
+fn narrowing_casts_fire_in_netsim_lib() {
+    let mut d = scan(
+        "crates/netsim/src/sim.rs",
+        "fn f(n: u64) -> usize { n as usize }\nfn g(n: u64) -> u32 { n as u32 }\n",
+    );
+    d.sort();
+    assert_eq!(rules(&d), ["no-truncating-cast", "no-truncating-cast"]);
+    assert_eq!(d[0].line, 1);
+    assert_eq!(d[1].line, 2);
+}
+
+#[test]
+fn narrowing_casts_fire_in_transport_lib() {
+    let d = scan(
+        "crates/transport/src/emulator.rs",
+        "fn f(n: u64) -> u16 { n as u16 }\nfn g(n: u64) -> u8 { n as u8 }\n",
+    );
+    assert_eq!(rules(&d), ["no-truncating-cast", "no-truncating-cast"]);
+}
+
+#[test]
+fn widening_casts_are_clean() {
+    let d = scan(
+        "crates/netsim/src/sim.rs",
+        "fn f(n: usize) -> u64 { n as u64 }\nfn g(x: u32) -> f64 { f64::from(x) }\n",
+    );
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn narrowing_cast_allowed_outside_packet_crates_and_in_tests() {
+    assert!(scan("crates/stats/src/q.rs", "fn f(n: u64) -> usize { n as usize }\n").is_empty());
+    assert!(scan("crates/netsim/tests/t.rs", "fn f(n: u64) -> u32 { n as u32 }\n").is_empty());
+    let in_test_mod =
+        "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t(n: u64) -> u32 { n as u32 }\n}\n";
+    assert!(scan("crates/transport/src/emulator.rs", in_test_mod).is_empty());
+}
+
+#[test]
+fn narrowing_cast_suppression_works() {
+    let text = "fn f(n: u64) -> u32 { n as u32 } // verus-check: allow(no-truncating-cast)\n";
+    assert!(scan("crates/netsim/src/sim.rs", text).is_empty());
+}
+
 // --------------------------------------------------------------- suppressions
 
 #[test]

@@ -70,6 +70,14 @@ pub struct VerusConfig {
     /// the profile) instead of just collapsing the window. Off by
     /// default: the paper describes only window collapse.
     pub timeout_reenters_slow_start: bool,
+    /// After this many *consecutive* retransmission timeouts (no ACK in
+    /// between), re-enter slow start and rebuild the delay profile even
+    /// when [`Self::timeout_reenters_slow_start`] is off. Repeated RTOs
+    /// mean the channel went silent for longer than the backed-off RTO —
+    /// a blackout, not congestion — so the profile describes a channel
+    /// that no longer exists. `0` disables the escape hatch (the paper's
+    /// literal collapse-only behaviour).
+    pub slow_start_after_timeouts: u32,
     /// Cap on per-epoch window growth: `W_{i+1} ≤ growth_cap · Wᵢ + 2`.
     /// Bounds the burst when the profile lookup probes above everything
     /// it has observed (Dest beyond the curve's range); 1.25 per 5 ms
@@ -122,6 +130,7 @@ impl Default for VerusConfig {
             spline: SplineKind::Natural,
             reorder_delay_factor: 3.0,
             timeout_reenters_slow_start: false,
+            slow_start_after_timeouts: 3,
             freeze_profile_in_recovery: true,
             growth_cap: 1.25,
             dmin_pinned_reset: SimDuration::from_secs(3),

@@ -31,6 +31,7 @@
 //! point rises by at most δ₂.
 
 use crate::sender::Phase;
+use serde::{Deserialize, Serialize};
 
 /// Whether the invariant layer is compiled into this build.
 pub const ENABLED: bool = cfg!(any(debug_assertions, feature = "strict-invariants"));
@@ -59,6 +60,59 @@ pub fn phase_transition(from: Phase, to: Phase) {
     );
     #[cfg(not(any(debug_assertions, feature = "strict-invariants")))]
     let _ = (from, to);
+}
+
+/// A 3×3 tally of every phase-machine edge taken, including self-edges.
+///
+/// Unlike the point assertions above, the audit is *always* compiled in
+/// (it is plain counting, not a check): after a run, tests and soak
+/// harnesses can assert structural properties of the whole trajectory —
+/// e.g. "the illegal `SlowStart → Recovery` edge was never taken" or
+/// "a blackout produced at least one re-entry into slow start".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseAudit {
+    counts: [[u64; 3]; 3],
+}
+
+const fn phase_index(p: Phase) -> usize {
+    match p {
+        Phase::SlowStart => 0,
+        Phase::CongestionAvoidance => 1,
+        Phase::Recovery => 2,
+    }
+}
+
+impl PhaseAudit {
+    /// Records one `from → to` edge.
+    pub fn record(&mut self, from: Phase, to: Phase) {
+        self.counts[phase_index(from)][phase_index(to)] += 1;
+    }
+
+    /// How many times the `from → to` edge was taken.
+    #[must_use]
+    pub fn count(&self, from: Phase, to: Phase) -> u64 {
+        self.counts[phase_index(from)][phase_index(to)]
+    }
+
+    /// Total transitions recorded (including self-edges).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Whether every recorded edge is legal per [`legal_transition`].
+    #[must_use]
+    pub fn all_legal(&self) -> bool {
+        use Phase::{CongestionAvoidance as Ca, Recovery as Re, SlowStart as Ss};
+        for from in [Ss, Ca, Re] {
+            for to in [Ss, Ca, Re] {
+                if !legal_transition(from, to) && self.count(from, to) > 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
 }
 
 /// Recovery exits into congestion avoidance, so entering it requires a
@@ -309,6 +363,25 @@ mod tests {
             delay_sample(10.0, 35.5);
             finite_positive(42.0, "set point");
         }
+    }
+
+    #[test]
+    fn phase_audit_counts_edges() {
+        use Phase::{CongestionAvoidance as Ca, Recovery as Re, SlowStart as Ss};
+        let mut audit = PhaseAudit::default();
+        assert_eq!(audit.total(), 0);
+        assert!(audit.all_legal());
+        audit.record(Ss, Ca);
+        audit.record(Ca, Re);
+        audit.record(Re, Ca);
+        audit.record(Ca, Re);
+        assert_eq!(audit.count(Ca, Re), 2);
+        assert_eq!(audit.count(Ss, Ca), 1);
+        assert_eq!(audit.count(Ss, Ss), 0);
+        assert_eq!(audit.total(), 4);
+        assert!(audit.all_legal());
+        audit.record(Ss, Re); // the one illegal edge
+        assert!(!audit.all_legal());
     }
 
     #[test]

@@ -89,6 +89,13 @@ pub struct VerusCc {
     pinned_delays: Vec<f64>,
     /// Epochs elapsed (diagnostics).
     epochs: u64,
+    /// Retransmission timeouts since the last ACK. Repeated back-to-back
+    /// RTOs indicate a blackout; see
+    /// [`VerusConfig::slow_start_after_timeouts`].
+    consecutive_timeouts: u32,
+    /// Tally of every phase-machine edge taken (diagnostics; see
+    /// [`invariants::PhaseAudit`]).
+    phase_audit: invariants::PhaseAudit,
 }
 
 impl Default for VerusCc {
@@ -130,6 +137,8 @@ impl VerusCc {
             epochs_pinned: 0,
             pinned_delays: Vec::new(),
             epochs: 0,
+            consecutive_timeouts: 0,
+            phase_audit: invariants::PhaseAudit::default(),
         }
     }
 
@@ -169,6 +178,18 @@ impl VerusCc {
         self.epochs
     }
 
+    /// Retransmission timeouts fired since the last ACK.
+    #[must_use]
+    pub fn consecutive_timeouts(&self) -> u32 {
+        self.consecutive_timeouts
+    }
+
+    /// The phase-transition tally for this controller's lifetime.
+    #[must_use]
+    pub fn phase_audit(&self) -> &invariants::PhaseAudit {
+        &self.phase_audit
+    }
+
     /// Transitions slow start → congestion avoidance: fit the initial
     /// profile and seed `Dest` from the current smoothed maximum delay.
     /// Single phase-assignment choke point: every transition is checked
@@ -178,6 +199,7 @@ impl VerusCc {
         if to == Phase::Recovery {
             invariants::recovery_requires_profile(self.window_est.is_some());
         }
+        self.phase_audit.record(self.phase, to);
         self.phase = to;
     }
 
@@ -331,6 +353,8 @@ impl CongestionControl for VerusCc {
     }
 
     fn on_ack(&mut self, now: SimTime, ev: &AckEvent) {
+        // Any ACK proves the channel is alive again.
+        self.consecutive_timeouts = 0;
         self.rtt.on_sample(ev.rtt);
         // The prototype computes the packet round-trip delay at the sender
         // (§4 "Delay Estimator"); that RTT is the profile's y-axis.
@@ -420,11 +444,18 @@ impl CongestionControl for VerusCc {
             LossKind::Timeout => {
                 // "Verus also uses a timeout mechanism similar to TCP in
                 // case all packets are lost": collapse fully.
+                self.consecutive_timeouts = self.consecutive_timeouts.saturating_add(1);
                 self.loss_event_point = Some(self.highest_sent);
                 self.w_cur = self.config.min_window;
                 self.credit = 0.0;
                 self.loss.reset();
-                if self.config.timeout_reenters_slow_start {
+                // Back-to-back RTOs (each one doubling the backed-off
+                // timer) mean the channel was dark longer than any
+                // congestion event: the profile is stale, so rebuild it
+                // from scratch instead of probing with a dead curve.
+                let blackout_escape = self.config.slow_start_after_timeouts > 0
+                    && self.consecutive_timeouts >= self.config.slow_start_after_timeouts;
+                if self.config.timeout_reenters_slow_start || blackout_escape {
                     self.set_phase(Phase::SlowStart);
                     self.w_cur = 1.0;
                     self.window_est = None;
@@ -686,6 +717,90 @@ mod tests {
         );
         assert_eq!(cc.phase(), Phase::SlowStart);
         assert_eq!(cc.window(), 1.0);
+    }
+
+    fn timeout_at(cc: &mut VerusCc, secs: u64, seq: u64) {
+        cc.on_loss(
+            SimTime::from_secs(secs),
+            &LossEvent {
+                seq,
+                send_window: 50.0,
+                kind: LossKind::Timeout,
+            },
+        );
+    }
+
+    #[test]
+    fn repeated_timeouts_reenter_slow_start() {
+        // Default config: collapse-only on isolated timeouts, but three
+        // back-to-back RTOs (a blackout) rebuild the profile.
+        let mut cc = VerusCc::default();
+        assert_eq!(cc.config().slow_start_after_timeouts, 3);
+        run_slow_start(&mut cc, 10.0, 2.0);
+        timeout_at(&mut cc, 2, 1);
+        assert_eq!(cc.phase(), Phase::Recovery);
+        assert_eq!(cc.consecutive_timeouts(), 1);
+        timeout_at(&mut cc, 3, 2);
+        assert_eq!(cc.phase(), Phase::Recovery);
+        timeout_at(&mut cc, 5, 3);
+        assert_eq!(cc.phase(), Phase::SlowStart, "third RTO must re-enter slow start");
+        assert_eq!(cc.window(), 1.0);
+        assert_eq!(cc.consecutive_timeouts(), 3);
+        assert!(cc.phase_audit().all_legal());
+        assert_eq!(
+            cc.phase_audit()
+                .count(Phase::Recovery, Phase::SlowStart),
+            1
+        );
+    }
+
+    #[test]
+    fn ack_resets_the_timeout_streak() {
+        let mut cc = VerusCc::default();
+        run_slow_start(&mut cc, 10.0, 2.0);
+        timeout_at(&mut cc, 2, 1);
+        timeout_at(&mut cc, 3, 2);
+        assert_eq!(cc.consecutive_timeouts(), 2);
+        // An ACK in between proves the channel is alive: the streak
+        // restarts and the next isolated RTO only collapses the window.
+        cc.on_ack(SimTime::from_millis(3500), &ack(4, 40.0, 2.0));
+        assert_eq!(cc.consecutive_timeouts(), 0);
+        timeout_at(&mut cc, 4, 5);
+        assert_eq!(cc.consecutive_timeouts(), 1);
+        assert_eq!(cc.phase(), Phase::Recovery);
+    }
+
+    #[test]
+    fn zero_threshold_disables_blackout_escape() {
+        let mut cc = VerusCc::new(VerusConfig {
+            slow_start_after_timeouts: 0,
+            ..VerusConfig::default()
+        });
+        run_slow_start(&mut cc, 10.0, 2.0);
+        for (i, secs) in (2..8).enumerate() {
+            timeout_at(&mut cc, secs, i as u64 + 1);
+        }
+        assert_eq!(cc.phase(), Phase::Recovery, "escape hatch must stay off");
+        assert_eq!(cc.consecutive_timeouts(), 6);
+    }
+
+    #[test]
+    fn phase_audit_tracks_the_lifecycle() {
+        let mut cc = VerusCc::default();
+        assert_eq!(cc.phase_audit().total(), 0);
+        run_slow_start(&mut cc, 10.0, 2.0);
+        assert_eq!(
+            cc.phase_audit()
+                .count(Phase::SlowStart, Phase::CongestionAvoidance),
+            1
+        );
+        timeout_at(&mut cc, 2, 1);
+        assert_eq!(
+            cc.phase_audit()
+                .count(Phase::CongestionAvoidance, Phase::Recovery),
+            1
+        );
+        assert!(cc.phase_audit().all_legal());
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Property tests for the Loss Handler (Eq. 6 + recovery growth).
+//!
+//! The contract under test: no sequence of `on_loss` / `on_ack` /
+//! `reset` calls may ever produce a window below `min_window` or a
+//! non-finite (NaN/∞) window. Exercised with seeded pseudo-random
+//! call sequences — deterministic, so a failure is reproducible from
+//! the seed in the assertion message.
+
+use verus_core::LossHandler;
+
+/// SplitMix64 — self-contained so the sequences do not depend on any
+/// external RNG implementation.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Log-uniform window in [1e-3, 1e5] — covers degenerate tiny
+    /// windows through far-beyond-BDP bursts.
+    fn window(&mut self) -> f64 {
+        1e-3 * 10f64.powf(self.f64() * 8.0)
+    }
+}
+
+fn assert_window_ok(w: f64, min_window: f64, context: &str) {
+    assert!(w.is_finite(), "{context}: window {w} is not finite");
+    assert!(!w.is_nan(), "{context}: window is NaN");
+    assert!(
+        w >= min_window,
+        "{context}: window {w} fell below min_window {min_window}"
+    );
+}
+
+#[test]
+fn collapse_never_goes_below_min_window() {
+    for seed in 0..32u64 {
+        let mut rng = Rng(seed);
+        for _ in 0..1000 {
+            let m = 0.05 + 0.9 * rng.f64(); // M ∈ (0.05, 0.95)
+            let min_window = 0.5 + 4.0 * rng.f64();
+            let w_loss = rng.window();
+            let mut lh = LossHandler::new(m);
+            let w = lh.on_loss(w_loss, min_window).expect("first loss collapses");
+            assert_window_ok(
+                w,
+                min_window,
+                &format!("seed {seed}, m {m}, w_loss {w_loss}"),
+            );
+            assert!(lh.in_recovery());
+        }
+    }
+}
+
+#[test]
+fn repeated_back_to_back_losses_are_stable() {
+    // A burst of losses (one congestion event, or several separated by
+    // resets) must collapse at most once per event and never leave the
+    // legal window range — even when the collapsed window feeds the next
+    // collapse (the repeated-RTO pattern of a blackout).
+    for seed in 0..16u64 {
+        let mut rng = Rng(100 + seed);
+        let min_window = 2.0;
+        let mut lh = LossHandler::new(0.5);
+        let mut w = rng.window().max(min_window);
+        for i in 0..2000 {
+            let ctx = format!("seed {seed}, step {i}");
+            if rng.f64() < 0.3 {
+                // Timeout path: reset then collapse from the current w.
+                lh.reset();
+                assert!(!lh.in_recovery());
+            }
+            match lh.on_loss(w, min_window) {
+                Some(next) => {
+                    assert!(
+                        next <= w.max(min_window) + 1e-12,
+                        "{ctx}: collapse increased the window ({w} -> {next})"
+                    );
+                    w = next;
+                }
+                // Already in recovery: one decrease per event.
+                None => assert!(lh.in_recovery(), "{ctx}: None outside recovery"),
+            }
+            assert_window_ok(w, min_window, &ctx);
+        }
+    }
+}
+
+#[test]
+fn recovery_growth_is_monotonic_finite_and_bounded() {
+    for seed in 0..16u64 {
+        let mut rng = Rng(200 + seed);
+        let min_window = 2.0;
+        let mut lh = LossHandler::new(0.5);
+        let mut w = lh.on_loss(rng.window(), min_window).expect("collapse");
+        for i in 0..2000 {
+            let ctx = format!("seed {seed}, ack {i}");
+            let echoed = rng.window();
+            let next = lh.on_ack(w, echoed);
+            if lh.in_recovery() || next != w {
+                assert!(
+                    next >= w,
+                    "{ctx}: recovery ACK shrank the window ({w} -> {next})"
+                );
+                // TCP-style growth adds at most one packet per ACK.
+                assert!(
+                    next <= w + 1.0 + 1e-12,
+                    "{ctx}: growth {w} -> {next} exceeds 1/W per ACK"
+                );
+            }
+            w = next;
+            assert_window_ok(w, min_window, &ctx);
+            if !lh.in_recovery() {
+                // Re-enter recovery to keep exercising the growth path.
+                w = lh.on_loss(w, min_window).expect("recollapse");
+            }
+        }
+    }
+}
+
+#[test]
+fn random_call_interleavings_never_corrupt_the_window() {
+    // Fully random interleavings of loss/ack/reset, including extreme
+    // w_loss values (0, subnormal, huge) mixed into the stream.
+    for seed in 0..16u64 {
+        let mut rng = Rng(300 + seed);
+        let min_window = 1.0 + 3.0 * rng.f64();
+        let mut lh = LossHandler::new(0.1 + 0.8 * rng.f64());
+        let mut w = 10.0;
+        for i in 0..5000 {
+            let ctx = format!("seed {seed}, op {i}");
+            match rng.next_u64() % 4 {
+                0 => {
+                    let w_loss = match rng.next_u64() % 4 {
+                        0 => 0.0,
+                        1 => f64::MIN_POSITIVE,
+                        2 => 1e12,
+                        _ => rng.window(),
+                    };
+                    if let Some(next) = lh.on_loss(w_loss, min_window) {
+                        w = next;
+                    }
+                }
+                1 | 2 => w = lh.on_ack(w, rng.window()),
+                _ => lh.reset(),
+            }
+            assert_window_ok(w, min_window, &ctx);
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::bottleneck::BottleneckConfig;
+use crate::impairment::ImpairmentConfig;
 use crate::queue::QueueConfig;
 use serde::{Deserialize, Serialize};
 use verus_nettypes::{CongestionControl, SimDuration, SimTime};
@@ -127,12 +128,17 @@ pub struct SimConfig {
     pub seed: u64,
     /// Window length for throughput series (1 s in the paper's plots).
     pub throughput_window: SimDuration,
+    /// Fault-injection pipeline between the flows and the bottleneck
+    /// (loss bursts, reordering, duplication, corruption, blackouts).
+    /// `Default` injects nothing.
+    pub impairments: ImpairmentConfig,
 }
 
 impl SimConfig {
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), String> {
         self.bottleneck.validate()?;
+        self.impairments.validate()?;
         if self.flows.is_empty() {
             return Err("simulation needs at least one flow".into());
         }
@@ -189,6 +195,24 @@ mod tests {
             duration: SimDuration::from_secs(1),
             seed: 0,
             throughput_window: SimDuration::from_secs(1),
+            impairments: ImpairmentConfig::default(),
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_impairments() {
+        let cfg = SimConfig {
+            bottleneck: BottleneckConfig::fixed(1e6, SimDuration::from_millis(20), 0.0),
+            queue: QueueConfig::deep_droptail(),
+            flows: vec![FlowConfig::new(Box::new(FixedWindow::new(4)))],
+            duration: SimDuration::from_secs(1),
+            seed: 0,
+            throughput_window: SimDuration::from_secs(1),
+            impairments: ImpairmentConfig {
+                corrupt_prob: 2.0,
+                ..ImpairmentConfig::default()
+            },
         };
         assert!(cfg.validate().is_err());
     }

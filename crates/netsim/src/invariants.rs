@@ -4,8 +4,16 @@
 //! exactly one place:
 //!
 //! ```text
-//! sent = radio_lost + queue_drops + in_queue + in_transit + delivered
+//! sent + dup_injected = radio_lost + impaired_lost + queue_drops
+//!                     + corrupt_dropped + in_queue + in_transit + delivered
 //! ```
+//!
+//! The left side is everything that entered the network (packets the
+//! flow created, plus duplicates injected by the impairment layer); the
+//! right side is where each of them is now. `impaired_lost` counts
+//! blackout and Gilbert–Elliott/Bernoulli impairment losses;
+//! `corrupt_dropped` counts packets discarded by the receiver's
+//! checksum after traversing the link.
 //!
 //! The simulator maintains per-flow location counters and asserts this
 //! equation (plus queue-occupancy accounting) after **every** dispatched
@@ -21,30 +29,54 @@
 /// Whether the invariant layer is compiled into this build.
 pub const ENABLED: bool = cfg!(any(debug_assertions, feature = "strict-invariants"));
 
+/// Per-flow packet-location counters for the conservation equation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ledger {
+    /// Packets the flow handed to the network.
+    pub sent: u64,
+    /// Duplicate copies injected by the impairment layer.
+    pub dup_injected: u64,
+    /// Lost on the radio link before the queue (base stochastic loss).
+    pub radio_lost: u64,
+    /// Lost to the impairment pipeline (blackouts, burst loss).
+    pub impaired_lost: u64,
+    /// Dropped by the bottleneck queue (tail-drop or RED).
+    pub queue_drops: u64,
+    /// Corrupted in flight and discarded at the receiver.
+    pub corrupt_dropped: u64,
+    /// Currently waiting in the bottleneck queue.
+    pub in_queue: u64,
+    /// Departed the bottleneck, not yet delivered.
+    pub in_transit: u64,
+    /// Delivered to the receiver.
+    pub delivered: u64,
+}
+
+impl Ledger {
+    /// Whether the conservation equation balances.
+    #[must_use]
+    pub fn balances(&self) -> bool {
+        self.sent + self.dup_injected
+            == self.radio_lost
+                + self.impaired_lost
+                + self.queue_drops
+                + self.corrupt_dropped
+                + self.in_queue
+                + self.in_transit
+                + self.delivered
+    }
+}
+
 /// Asserts the per-flow packet-conservation equation.
 #[inline]
-#[allow(clippy::too_many_arguments)]
-pub fn packet_conservation(
-    flow: usize,
-    sent: u64,
-    radio_lost: u64,
-    queue_drops: u64,
-    in_queue: u64,
-    in_transit: u64,
-    delivered: u64,
-) {
+pub fn packet_conservation(flow: usize, ledger: &Ledger) {
     #[cfg(any(debug_assertions, feature = "strict-invariants"))]
-    {
-        let accounted = radio_lost + queue_drops + in_queue + in_transit + delivered;
-        assert!(
-            sent == accounted,
-            "packet conservation violated for flow {flow}: sent {sent} != \
-             radio_lost {radio_lost} + queue_drops {queue_drops} + in_queue {in_queue} \
-             + in_transit {in_transit} + delivered {delivered} (= {accounted})"
-        );
-    }
+    assert!(
+        ledger.balances(),
+        "packet conservation violated for flow {flow}: {ledger:?}"
+    );
     #[cfg(not(any(debug_assertions, feature = "strict-invariants")))]
-    let _ = (flow, sent, radio_lost, queue_drops, in_queue, in_transit, delivered);
+    let _ = (flow, ledger);
 }
 
 /// The flows' `in_queue` counters must sum to the bottleneck queue's
@@ -65,9 +97,24 @@ pub fn queue_accounting(flows_in_queue: u64, queue_len: usize) {
 mod tests {
     use super::*;
 
+    fn ledger() -> Ledger {
+        Ledger {
+            sent: 10,
+            dup_injected: 2,
+            radio_lost: 1,
+            impaired_lost: 2,
+            queue_drops: 2,
+            corrupt_dropped: 1,
+            in_queue: 3,
+            in_transit: 1,
+            delivered: 2,
+        }
+    }
+
     #[test]
     fn balanced_ledger_passes() {
-        packet_conservation(0, 10, 1, 2, 3, 1, 3);
+        assert!(ledger().balances());
+        packet_conservation(0, &ledger());
         queue_accounting(3, 3);
     }
 
@@ -78,7 +125,17 @@ mod tests {
         #[test]
         #[should_panic(expected = "packet conservation violated")]
         fn unbalanced_ledger_fires() {
-            packet_conservation(0, 10, 1, 2, 3, 1, 2);
+            let mut l = ledger();
+            l.delivered -= 1; // one packet vanished without a bucket
+            packet_conservation(0, &l);
+        }
+
+        #[test]
+        #[should_panic(expected = "packet conservation violated")]
+        fn uncounted_duplicate_fires() {
+            let mut l = ledger();
+            l.dup_injected -= 1; // a duplicate entered but was not counted
+            packet_conservation(0, &l);
         }
 
         #[test]

@@ -31,6 +31,7 @@
 
 pub mod bottleneck;
 pub mod config;
+pub mod impairment;
 pub mod invariants;
 pub mod metrics;
 pub mod queue;
@@ -38,5 +39,6 @@ pub mod sim;
 
 pub use bottleneck::{BottleneckConfig, FixedParams};
 pub use config::{FlowConfig, LossDetection, SimConfig};
+pub use impairment::{Blackout, ImpairmentConfig, Impairments, LossModel};
 pub use metrics::FlowReport;
 pub use sim::Simulation;

@@ -29,6 +29,17 @@ pub struct FlowReport {
     pub radio_lost: u64,
     /// Packets dropped by the bottleneck queue (tail-drop or RED).
     pub queue_drops: u64,
+    /// Packets lost to the impairment pipeline (blackouts, burst loss);
+    /// see [`crate::impairment`].
+    pub impaired_lost: u64,
+    /// Packets corrupted in flight and discarded at the receiver.
+    pub corrupt_dropped: u64,
+    /// Duplicate copies injected by the impairment pipeline.
+    pub dup_injected: u64,
+    /// Packets still sitting in the bottleneck queue at simulation end.
+    pub residual_in_queue: u64,
+    /// Packets still in flight (departed, undelivered) at simulation end.
+    pub residual_in_transit: u64,
     /// Active duration used for mean-rate computations, seconds
     /// (simulation end minus flow start).
     pub active_secs: f64,
@@ -71,6 +82,21 @@ impl FlowReport {
         }
         self.fast_losses as f64 / self.sent as f64
     }
+
+    /// End-of-run packet conservation (see [`crate::invariants`]): every
+    /// packet that entered the network — sent plus injected duplicates —
+    /// is delivered, dropped somewhere specific, or still in the network.
+    #[must_use]
+    pub fn ledger_balances(&self) -> bool {
+        self.sent + self.dup_injected
+            == self.radio_lost
+                + self.impaired_lost
+                + self.queue_drops
+                + self.corrupt_dropped
+                + self.residual_in_queue
+                + self.residual_in_transit
+                + self.delivered
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +118,11 @@ mod tests {
             timeouts: 0,
             radio_lost: 1,
             queue_drops: 1,
+            impaired_lost: 0,
+            corrupt_dropped: 0,
+            dup_injected: 0,
+            residual_in_queue: 0,
+            residual_in_transit: 0,
             active_secs: 2.0,
             completion_secs: None,
         }
@@ -115,6 +146,16 @@ mod tests {
     }
 
     #[test]
+    fn ledger_balance_is_detectable() {
+        let mut r = report();
+        assert!(r.ledger_balances());
+        r.impaired_lost = 1; // a drop nobody delivered
+        assert!(!r.ledger_balances());
+        r.sent += 1;
+        assert!(r.ledger_balances());
+    }
+
+    #[test]
     fn empty_flow_is_all_zeroes() {
         let r = FlowReport {
             protocol: "idle".into(),
@@ -127,6 +168,11 @@ mod tests {
             timeouts: 0,
             radio_lost: 0,
             queue_drops: 0,
+            impaired_lost: 0,
+            corrupt_dropped: 0,
+            dup_injected: 0,
+            residual_in_queue: 0,
+            residual_in_transit: 0,
             active_secs: 0.0,
             completion_secs: None,
         };

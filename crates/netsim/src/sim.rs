@@ -23,6 +23,7 @@
 
 use crate::bottleneck::{BottleneckConfig, FixedParams};
 use crate::config::{LossDetection, SimConfig};
+use crate::impairment::{Impairments, IngressFate};
 use crate::metrics::FlowReport;
 use crate::queue::{EnqueueResult, Queue, QueuedPacket};
 use rand::rngs::StdRng;
@@ -66,6 +67,8 @@ enum EventKind {
     RtoCheck(usize),
     /// Fixed-link parameter step (index into the schedule).
     ParamChange(usize),
+    /// A scheduled link blackout ends: restart the bottleneck service.
+    BlackoutEnd,
     /// Observer callback.
     Observe,
 }
@@ -124,11 +127,31 @@ struct FlowState {
     fast_losses: u64,
     timeouts: u64,
     // Packet-location ledger (see `crate::invariants`): every sent
-    // packet is in exactly one of these buckets or `delivered`.
+    // packet (and every injected duplicate) is in exactly one of these
+    // buckets or `delivered`.
     radio_lost: u64,
     queue_drops: u64,
     in_queue: u64,
     in_transit: u64,
+    impaired_lost: u64,
+    corrupt_dropped: u64,
+    dup_injected: u64,
+}
+
+impl FlowState {
+    fn ledger(&self) -> crate::invariants::Ledger {
+        crate::invariants::Ledger {
+            sent: self.sent,
+            dup_injected: self.dup_injected,
+            radio_lost: self.radio_lost,
+            impaired_lost: self.impaired_lost,
+            queue_drops: self.queue_drops,
+            corrupt_dropped: self.corrupt_dropped,
+            in_queue: self.in_queue,
+            in_transit: self.in_transit,
+            delivered: self.delivered,
+        }
+    }
 }
 
 enum Service {
@@ -159,6 +182,7 @@ pub struct Simulation {
     queue: Queue,
     service: Service,
     rng: StdRng,
+    impairments: Impairments,
 }
 
 impl Simulation {
@@ -196,6 +220,9 @@ impl Simulation {
                 queue_drops: 0,
                 in_queue: 0,
                 in_transit: 0,
+                impaired_lost: 0,
+                corrupt_dropped: 0,
+                dup_injected: 0,
             })
             .collect();
 
@@ -229,11 +256,17 @@ impl Simulation {
             queue: Queue::new(config.queue),
             service,
             rng: StdRng::seed_from_u64(config.seed),
+            impairments: Impairments::new(config.impairments),
         };
 
         for i in 0..sim.flows.len() {
             let start = sim.flows[i].start;
             sim.schedule(start, EventKind::FlowStart(i));
+        }
+        // Wake the bottleneck when each blackout lifts (a blacked-out
+        // fixed link refuses to start serving; something must restart it).
+        for end_at in sim.impairments.blackout_ends() {
+            sim.schedule(end_at, EventKind::BlackoutEnd);
         }
         if let Service::Fixed { ref schedule, .. } = sim.service {
             let steps: Vec<(usize, SimTime)> = schedule
@@ -314,6 +347,11 @@ impl Simulation {
                 timeouts: f.timeouts,
                 radio_lost: f.radio_lost,
                 queue_drops: f.queue_drops,
+                impaired_lost: f.impaired_lost,
+                corrupt_dropped: f.corrupt_dropped,
+                dup_injected: f.dup_injected,
+                residual_in_queue: f.in_queue,
+                residual_in_transit: f.in_transit,
                 active_secs: (end_secs - f.start.as_secs_f64()).max(0.0),
                 completion_secs: f
                     .completed_at
@@ -330,15 +368,7 @@ impl Simulation {
         {
             let mut queued_total = 0u64;
             for (i, f) in self.flows.iter().enumerate() {
-                crate::invariants::packet_conservation(
-                    i,
-                    f.sent,
-                    f.radio_lost,
-                    f.queue_drops,
-                    f.in_queue,
-                    f.in_transit,
-                    f.delivered,
-                );
+                crate::invariants::packet_conservation(i, &f.ledger());
                 queued_total += f.in_queue;
             }
             crate::invariants::queue_accounting(queued_total, self.queue.len());
@@ -425,6 +455,12 @@ impl Simulation {
                     *current = schedule[idx].1;
                 }
             }
+            EventKind::BlackoutEnd => {
+                // The link is (possibly) back up: a fixed link must be
+                // kicked to resume serializing its backlog. (A cell link
+                // resumes at its next opportunity on its own.)
+                self.maybe_start_fixed_service();
+            }
             EventKind::Observe => unreachable!("handled in run_observed"),
         }
     }
@@ -482,8 +518,9 @@ impl Simulation {
                 Some(limit) => {
                     let f = &self.flows[flow];
                     let sent_bytes = f.sent * u64::from(f.packet_bytes);
-                    (limit.saturating_sub(sent_bytes)).div_ceil(u64::from(f.packet_bytes))
-                        as usize
+                    let pkts =
+                        (limit.saturating_sub(sent_bytes)).div_ceil(u64::from(f.packet_bytes));
+                    usize::try_from(pkts).unwrap_or(usize::MAX)
                 }
                 None => usize::MAX,
             };
@@ -523,29 +560,49 @@ impl Simulation {
             self.flows[flow].radio_lost += 1;
             return;
         }
-        let uniform = self.rng.gen::<f64>();
-        let accepted = self.queue.enqueue(
-            QueuedPacket {
-                flow,
-                seq,
-                bytes,
-                enqueued: now,
-            },
-            uniform,
-        );
-        if accepted == EnqueueResult::Queued {
-            self.flows[flow].in_queue += 1;
-            self.maybe_start_fixed_service();
-        } else {
-            self.flows[flow].queue_drops += 1;
+        // Impairment stage (blackouts, burst loss, duplication); draws
+        // from its own RNG stream, so a no-op pipeline leaves the base
+        // channel's random sequence untouched.
+        let copies = match self.impairments.on_ingress(now) {
+            IngressFate::Lost => {
+                self.flows[flow].impaired_lost += 1;
+                return;
+            }
+            IngressFate::Pass { duplicate: false } => 1,
+            IngressFate::Pass { duplicate: true } => {
+                self.flows[flow].dup_injected += 1;
+                2
+            }
+        };
+        for _ in 0..copies {
+            let uniform = self.rng.gen::<f64>();
+            let accepted = self.queue.enqueue(
+                QueuedPacket {
+                    flow,
+                    seq,
+                    bytes,
+                    enqueued: now,
+                },
+                uniform,
+            );
+            if accepted == EnqueueResult::Queued {
+                self.flows[flow].in_queue += 1;
+                self.maybe_start_fixed_service();
+            } else {
+                self.flows[flow].queue_drops += 1;
+            }
         }
     }
 
     // ---- bottleneck service --------------------------------------------
 
     /// Fixed link: if idle and the queue is backlogged, begin serializing
-    /// the head packet.
+    /// the head packet. A blacked-out link serves nothing; the scheduled
+    /// `BlackoutEnd` event restarts it.
     fn maybe_start_fixed_service(&mut self) {
+        if self.impairments.in_blackout(self.now) {
+            return;
+        }
         let Service::Fixed {
             current,
             ref mut busy,
@@ -573,9 +630,23 @@ impl Simulation {
         if let Service::Fixed { ref mut busy, .. } = self.service {
             *busy = false;
         }
-        let deliver_at = self.now + self.fwd_delay(pkt.flow);
+        self.depart(pkt);
+        self.maybe_start_fixed_service();
+    }
+
+    /// A packet leaves the bottleneck: apply egress impairments
+    /// (corruption, reordering) and schedule the delivery.
+    fn depart(&mut self, pkt: QueuedPacket) {
+        let base_delay = self.fwd_delay(pkt.flow);
+        let fate = self.impairments.on_egress();
         let fs = &mut self.flows[pkt.flow];
         fs.in_queue -= 1;
+        if fate.corrupted {
+            // Traverses the link but fails the receiver's checksum: the
+            // sender learns of it only through its loss detectors.
+            fs.corrupt_dropped += 1;
+            return;
+        }
         fs.in_transit += 1;
         // Reconstruct sender metadata for the delivery event.
         let sent_at = fs
@@ -583,6 +654,8 @@ impl Simulation {
             .get(&pkt.seq)
             .map(|m| m.sent_at)
             .unwrap_or(pkt.enqueued);
+        let deliver_at =
+            self.now + base_delay + fate.extra_delay.unwrap_or(SimDuration::ZERO);
         self.schedule(
             deliver_at,
             EventKind::Deliver {
@@ -592,11 +665,13 @@ impl Simulation {
                 sent_at,
             },
         );
-        self.maybe_start_fixed_service();
     }
 
     /// Cell link: one delivery opportunity releases queued bytes.
+    /// During a blackout the opportunity is wasted (no drain, no banked
+    /// credit) — the radio is gone, not merely idle.
     fn on_cell_opportunity(&mut self) {
+        let blackout = self.impairments.in_blackout(self.now);
         // Phase 1: drain the queue using the opportunity's byte budget.
         let mut deliveries: Vec<QueuedPacket> = Vec::new();
         {
@@ -615,7 +690,7 @@ impl Simulation {
             // Credit accumulates only against a backlog; capacity cannot
             // be banked while there is nothing to send (mahimahi
             // semantics).
-            if self.queue.is_empty() {
+            if blackout || self.queue.is_empty() {
                 *credit = 0;
             } else {
                 *credit += u64::from(opp.bytes);
@@ -641,26 +716,9 @@ impl Simulation {
             let t = next_time.max(self.now);
             self.schedule(t, EventKind::CellOpportunity);
         }
-        // Phase 2: schedule deliveries.
+        // Phase 2: egress impairments + delivery scheduling.
         for pkt in deliveries {
-            let deliver_at = self.now + self.fwd_delay(pkt.flow);
-            let fs = &mut self.flows[pkt.flow];
-            fs.in_queue -= 1;
-            fs.in_transit += 1;
-            let sent_at = fs
-                .outstanding
-                .get(&pkt.seq)
-                .map(|m| m.sent_at)
-                .unwrap_or(pkt.enqueued);
-            self.schedule(
-                deliver_at,
-                EventKind::Deliver {
-                    flow: pkt.flow,
-                    seq: pkt.seq,
-                    bytes: pkt.bytes,
-                    sent_at,
-                },
-            );
+            self.depart(pkt);
         }
     }
 
@@ -827,6 +885,7 @@ mod tests {
             duration: SimDuration::from_secs(secs),
             seed,
             throughput_window: SimDuration::from_secs(1),
+            impairments: Default::default(),
         };
         Simulation::new(config).unwrap().run()
     }
@@ -933,6 +992,7 @@ mod tests {
             duration: SimDuration::from_secs(10),
             seed: 6,
             throughput_window: SimDuration::from_secs(1),
+            impairments: Default::default(),
         };
         let reports = Simulation::new(config).unwrap().run();
         let series = reports[0].throughput.series_mbps();
@@ -966,6 +1026,7 @@ mod tests {
             duration: SimDuration::from_secs(20),
             seed: 9,
             throughput_window: SimDuration::from_secs(1),
+            impairments: Default::default(),
         };
         let reports = Simulation::new(config).unwrap().run();
         let mbps = reports[0].mean_throughput_mbps();
@@ -1001,6 +1062,7 @@ mod tests {
             duration: SimDuration::from_secs(10),
             seed: 10,
             throughput_window: SimDuration::from_secs(1),
+            impairments: Default::default(),
         };
         let reports = Simulation::new(config).unwrap().run();
         assert!(reports[0].timeouts > 0, "no RTO fired on dead link");
@@ -1019,6 +1081,7 @@ mod tests {
             duration: SimDuration::from_secs(10),
             seed: 21,
             throughput_window: SimDuration::from_secs(1),
+            impairments: Default::default(),
         };
         let reports = Simulation::new(config).unwrap().run();
         let r = &reports[0];
@@ -1042,6 +1105,7 @@ mod tests {
             duration: SimDuration::from_secs(2),
             seed: 22,
             throughput_window: SimDuration::from_secs(1),
+            impairments: Default::default(),
         };
         let reports = Simulation::new(config).unwrap().run();
         assert!(reports[0].completion_secs.is_none());
@@ -1060,6 +1124,7 @@ mod tests {
             duration: SimDuration::from_secs(5),
             seed: 11,
             throughput_window: SimDuration::from_secs(1),
+            impairments: Default::default(),
         };
         let mut calls = 0;
         let _ = Simulation::new(config)

@@ -27,6 +27,7 @@ fn run_lossy(cc: Box<dyn CongestionControl>, seed: u64) -> FlowReport {
         duration: SimDuration::from_secs(20),
         seed,
         throughput_window: SimDuration::from_secs(1),
+        impairments: Default::default(),
     };
     Simulation::new(config).unwrap().run().remove(0)
 }
@@ -79,6 +80,7 @@ fn clean_link_has_no_losses() {
         duration: SimDuration::from_secs(10),
         seed: 44,
         throughput_window: SimDuration::from_secs(1),
+        impairments: Default::default(),
     };
     let r = Simulation::new(config).unwrap().run().remove(0);
     assert_eq!(r.radio_lost, 0);

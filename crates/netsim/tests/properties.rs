@@ -66,6 +66,7 @@ fn run(s: &Scenario) -> Vec<verus_netsim::FlowReport> {
         duration: SimDuration::from_secs(s.secs),
         seed: s.seed,
         throughput_window: SimDuration::from_secs(1),
+        impairments: Default::default(),
     };
     Simulation::new(config).expect("valid config").run()
 }
@@ -149,6 +150,7 @@ proptest! {
             duration: SimDuration::from_secs(5),
             seed,
             throughput_window: SimDuration::from_secs(1),
+            impairments: Default::default(),
         };
         let reports = Simulation::new(config).unwrap().run();
         for r in &reports {

@@ -22,6 +22,7 @@ fn run_one(
         duration: SimDuration::from_secs(secs),
         seed,
         throughput_window: SimDuration::from_secs(1),
+        impairments: Default::default(),
     };
     Simulation::new(config).unwrap().run().remove(0)
 }
@@ -158,6 +159,7 @@ fn verus_intra_fairness_two_flows() {
         duration: SimDuration::from_secs(60),
         seed: 7,
         throughput_window: SimDuration::from_secs(1),
+        impairments: Default::default(),
     };
     let reports = Simulation::new(config).unwrap().run();
     // Compare rates over the shared tail (last 30 s).

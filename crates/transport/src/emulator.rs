@@ -31,8 +31,9 @@ use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use verus_cellular::Trace;
+use verus_netsim::impairment::{ImpairmentConfig, Impairments, IngressFate};
 use verus_nettypes::{SimDuration, SimTime};
 
 /// Emulator configuration.
@@ -52,6 +53,16 @@ pub struct EmulatorConfig {
     pub queue_capacity: u64,
     /// RNG seed for loss decisions.
     pub seed: u64,
+    /// Fault-injection pipeline — the same knobs as the simulator's
+    /// [`verus_netsim::impairment`] layer (burst loss, blackouts,
+    /// reordering, duplication, corruption). `Default` injects nothing.
+    /// Blackout windows are measured on the shared [`WallClock`], i.e.
+    /// relative to process start, not emulator spawn.
+    pub impairments: ImpairmentConfig,
+    /// If set, the emulator thread shuts itself down cleanly after this
+    /// long without hearing a packet from either peer (silent-peer
+    /// watchdog). `None` disables the watchdog.
+    pub watchdog_idle: Option<Duration>,
 }
 
 impl EmulatorConfig {
@@ -66,6 +77,8 @@ impl EmulatorConfig {
             loss: 0.0,
             queue_capacity: 1 << 20,
             seed: 0,
+            impairments: ImpairmentConfig::default(),
+            watchdog_idle: None,
         }
     }
 }
@@ -97,6 +110,9 @@ struct EmulatorShared {
     stop: AtomicBool,
     forwarded: AtomicU64,
     dropped: AtomicU64,
+    received: AtomicU64,
+    impaired: AtomicU64,
+    watchdog_fired: AtomicBool,
 }
 
 /// A running emulator thread.
@@ -157,19 +173,31 @@ fn run_loop(
     let mut tie = 0u64;
     let mut sender_addr: Option<SocketAddr> = None;
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut impairments = Impairments::new(config.impairments.clone());
     let mut buf = [0u8; 65_536];
+
+    // Local ledger: every data packet read from the ingress socket (plus
+    // every injected duplicate) must end up in exactly one bucket. The
+    // shared atomics mirror the publicly interesting ones.
+    let mut dup_injected: u64 = 0;
+    let mut corrupt_dropped: u64 = 0;
+    let mut send_failed: u64 = 0;
+    let mut last_heard = Instant::now();
 
     while !shared.stop.load(Ordering::Relaxed) {
         let now = clock.now();
 
-        // 1. Fire due delivery opportunities.
+        // 1. Fire due delivery opportunities. During a blackout the link
+        // is dead: opportunities pass by without accumulating credit,
+        // exactly like the simulator's cell link.
+        let blackout = impairments.in_blackout(now);
         loop {
             let opp = opportunities[opp_index];
             let opp_at = start + (opp.time.saturating_since(SimTime::ZERO) + loop_offset);
             if now < opp_at {
                 break;
             }
-            if queue.is_empty() {
+            if blackout || queue.is_empty() {
                 credit = 0;
             } else {
                 credit += u64::from(opp.bytes);
@@ -178,9 +206,17 @@ fn run_loop(
                         let payload = queue.pop_front().expect("peeked");
                         credit -= payload.len() as u64;
                         backlog -= payload.len() as u64;
+                        let fate = impairments.on_egress();
+                        if fate.corrupted {
+                            // Discarded by the receiver's checksum.
+                            corrupt_dropped += 1;
+                            shared.impaired.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        let extra = fate.extra_delay.unwrap_or(SimDuration::ZERO);
                         tie += 1;
                         delay_line.push(Reverse(Timed {
-                            at: now + config.fwd_delay,
+                            at: now + config.fwd_delay + extra,
                             tie,
                             to_receiver: true,
                             payload,
@@ -209,6 +245,8 @@ fn run_loop(
             if item.to_receiver {
                 if egress.send_to(&item.payload, config.receiver).is_ok() {
                     shared.forwarded.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    send_failed += 1;
                 }
             } else if let Some(addr) = sender_addr {
                 let _ = ingress.send_to(&item.payload, addr);
@@ -219,17 +257,32 @@ fn run_loop(
         for _ in 0..64 {
             match ingress.recv_from(&mut buf) {
                 Ok((n, src)) => {
+                    last_heard = Instant::now();
                     sender_addr = Some(src);
+                    shared.received.fetch_add(1, Ordering::Relaxed);
                     if config.loss > 0.0 && rng.gen::<f64>() < config.loss {
                         shared.dropped.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
-                    if backlog + n as u64 > config.queue_capacity {
-                        shared.dropped.fetch_add(1, Ordering::Relaxed);
-                        continue;
+                    let copies = match impairments.on_ingress(clock.now()) {
+                        IngressFate::Lost => {
+                            shared.impaired.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        IngressFate::Pass { duplicate: false } => 1,
+                        IngressFate::Pass { duplicate: true } => {
+                            dup_injected += 1;
+                            2
+                        }
+                    };
+                    for _ in 0..copies {
+                        if backlog + n as u64 > config.queue_capacity {
+                            shared.dropped.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        backlog += n as u64;
+                        queue.push_back(buf[..n].to_vec());
                     }
-                    backlog += n as u64;
-                    queue.push_back(buf[..n].to_vec());
                 }
                 Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
@@ -245,6 +298,7 @@ fn run_loop(
         for _ in 0..64 {
             match egress.recv_from(&mut buf) {
                 Ok((n, _src)) => {
+                    last_heard = Instant::now();
                     tie += 1;
                     delay_line.push(Reverse(Timed {
                         at: clock.now() + config.ack_delay,
@@ -262,8 +316,50 @@ fn run_loop(
                 Err(_) => return,
             }
         }
+
+        // 5. Silent-peer watchdog: if both peers have gone quiet for too
+        // long, terminate cleanly instead of spinning forever.
+        if let Some(idle) = config.watchdog_idle {
+            if last_heard.elapsed() > idle {
+                shared.watchdog_fired.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
         // ingress' 300 µs read timeout paces the loop.
     }
+
+    // Exit-path packet conservation: everything read from the ingress
+    // socket (plus injected duplicates) is forwarded, dropped somewhere
+    // specific, or still inside the emulator.
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    {
+        let in_flight = delay_line
+            .iter()
+            .filter(|Reverse(t)| t.to_receiver)
+            .count() as u64;
+        let received = shared.received.load(Ordering::Relaxed);
+        let forwarded = shared.forwarded.load(Ordering::Relaxed);
+        let dropped = shared.dropped.load(Ordering::Relaxed);
+        let impaired = shared.impaired.load(Ordering::Relaxed);
+        let ingress_lost = impaired - corrupt_dropped;
+        assert!(
+            received + dup_injected
+                == forwarded
+                    + dropped
+                    + ingress_lost
+                    + corrupt_dropped
+                    + send_failed
+                    + queue.len() as u64
+                    + in_flight,
+            "emulator packet conservation violated: received {received} + dup {dup_injected} \
+             != forwarded {forwarded} + dropped {dropped} + ingress_lost {ingress_lost} \
+             + corrupt {corrupt_dropped} + send_failed {send_failed} \
+             + queued {} + in_flight {in_flight}",
+            queue.len(),
+        );
+    }
+    #[cfg(not(any(debug_assertions, feature = "strict-invariants")))]
+    let _ = (dup_injected, corrupt_dropped, send_failed);
 }
 
 impl EmulatorHandle {
@@ -285,11 +381,41 @@ impl EmulatorHandle {
         self.shared.dropped.load(Ordering::Relaxed)
     }
 
+    /// Data packets read from the ingress socket so far.
+    #[must_use]
+    pub fn received(&self) -> u64 {
+        self.shared.received.load(Ordering::Relaxed)
+    }
+
+    /// Data packets lost to the impairment pipeline (blackouts, burst
+    /// loss, corruption).
+    #[must_use]
+    pub fn impaired(&self) -> u64 {
+        self.shared.impaired.load(Ordering::Relaxed)
+    }
+
+    /// Whether the silent-peer watchdog shut the emulator down.
+    #[must_use]
+    pub fn watchdog_fired(&self) -> bool {
+        self.shared.watchdog_fired.load(Ordering::Relaxed)
+    }
+
+    /// Whether the emulator thread has exited (watchdog or stop).
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.thread.as_ref().is_none_or(JoinHandle::is_finished)
+    }
+
     /// Stops the emulator and joins its thread.
+    ///
+    /// # Panics
+    /// Propagates a panic from the emulator thread (e.g. a failed
+    /// packet-conservation assert in a debug/strict build) instead of
+    /// swallowing it — soak tests rely on this.
     pub fn stop(mut self) {
         self.shared.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
-            let _ = t.join();
+            assert!(t.join().is_ok(), "emulator thread panicked");
         }
     }
 }
@@ -355,7 +481,14 @@ mod tests {
             elapsed >= Duration::from_millis(25),
             "arrived after {elapsed:?}, before the 30 ms forward delay"
         );
+        // The datagram can reach the sink a beat before the emulator
+        // thread bumps its counter; give it a moment.
+        let deadline = std::time::Instant::now() + Duration::from_millis(500);
+        while emu.forwarded() != 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
         assert_eq!(emu.forwarded(), 1);
+        assert_eq!(emu.received(), 1);
         emu.stop();
     }
 

@@ -40,6 +40,7 @@ fn main() {
         duration: SimDuration::from_secs(30),
         seed: 1,
         throughput_window: SimDuration::from_secs(1),
+        impairments: Default::default(),
     };
 
     // 3. Run, observing the live protocol state at the end.

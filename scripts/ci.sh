@@ -1,11 +1,19 @@
 #!/usr/bin/env bash
-# CI entry point: build, test, then static-analyse the workspace.
+# CI entry point: build, test, static-analyse, then soak.
 #
-# The verus-check pass runs last so that compile/test failures surface
-# first; it exits non-zero on any diagnostic, which fails the pipeline.
+# The verus-check pass runs after build/test so that compile/test
+# failures surface first; it exits non-zero on any diagnostic, which
+# fails the pipeline. The final job re-runs the fault-injection soak in
+# a release build with the runtime invariant layers compiled in
+# (`strict-invariants` on every crate that has one): optimized-build
+# timing with every conservation/phase assert armed, on a fixed seed so
+# failures reproduce.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo run -p verus-check
+
+cargo test --release -q -p verus-bench --test fault_injection \
+  --features verus-netsim/strict-invariants,verus-core/strict-invariants,verus-transport/strict-invariants

@@ -83,6 +83,7 @@ fn claim_verus_beats_sprout_under_rapid_change() {
             duration: SimDuration::from_secs(200),
             seed: 4101,
             throughput_window: SimDuration::from_secs(1),
+            impairments: Default::default(),
         };
         Simulation::new(config).unwrap().run().remove(0).mean_throughput_mbps()
     };
@@ -109,6 +110,7 @@ fn claim_sprout_cap_verus_uncapped() {
             duration: SimDuration::from_secs(30),
             seed: 4200,
             throughput_window: SimDuration::from_secs(1),
+            impairments: Default::default(),
         };
         Simulation::new(config).unwrap().run().remove(0).mean_throughput_mbps()
     };
