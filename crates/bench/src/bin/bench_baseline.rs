@@ -1,0 +1,236 @@
+//! Tracked performance baseline: times the simulator hot paths and
+//! writes a machine-readable record.
+//!
+//! Three figures, chosen because they bound everything else the harness
+//! does:
+//!
+//! * **profile inversion** — the per-epoch inverse lookup, measured both
+//!   through the LUT fast path and through a port of the original
+//!   512-step curve scan (same spline, same targets), so the speedup is
+//!   tracked run over run;
+//! * **epochs/sec** — warmed Verus controllers stepping their ε-epoch
+//!   logic (Eq. 4, inversion, Eq. 5);
+//! * **events/sec** — a full trace-driven cell simulation, counted with
+//!   [`verus_netsim::Simulation::run_counted`].
+//!
+//! Output: `BENCH_0.json` in the working directory (override the path
+//! with `VERUS_BENCH_OUT`). CI runs this and validates the JSON.
+
+use std::hint::black_box;
+use std::time::Instant;
+use verus_bench::guard_finite;
+use verus_cellular::{OperatorModel, Scenario};
+use verus_core::{DelayProfiler, SplineKind, VerusCc};
+use verus_netsim::queue::QueueConfig;
+use verus_netsim::{BottleneckConfig, FlowConfig, SimConfig, Simulation};
+use verus_nettypes::{AckEvent, CongestionControl, SimDuration, SimTime};
+
+struct Baseline {
+    lookup_old_ns: f64,
+    lookup_new_ns: f64,
+    lookup_speedup: f64,
+    epochs_per_sec: f64,
+    sim_events: u64,
+    sim_wall_secs: f64,
+    events_per_sec: f64,
+}
+
+impl Baseline {
+    /// Hand-rolled JSON: the workspace's serde_json is an offline stub,
+    /// and the record is flat, so formatting it directly keeps the file
+    /// real JSON for jq/CI consumers.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"verus-bench-baseline-v0\",\n  \
+             \"lookup_old_ns\": {:.1},\n  \
+             \"lookup_new_ns\": {:.1},\n  \
+             \"lookup_speedup\": {:.2},\n  \
+             \"epochs_per_sec\": {:.0},\n  \
+             \"sim_events\": {},\n  \
+             \"sim_wall_secs\": {:.3},\n  \
+             \"events_per_sec\": {:.0}\n}}",
+            self.lookup_old_ns,
+            self.lookup_new_ns,
+            self.lookup_speedup,
+            self.epochs_per_sec,
+            self.sim_events,
+            self.sim_wall_secs,
+            self.events_per_sec,
+        )
+    }
+}
+
+fn profile_with_points(n: u32) -> DelayProfiler {
+    let mut p = DelayProfiler::new(0.875, SplineKind::Natural);
+    for w in 1..=n {
+        p.add_sample(
+            SimTime::ZERO,
+            f64::from(w),
+            20.0 + 2.0 * f64::from(w) + (f64::from(w) * 0.7).sin(),
+        );
+    }
+    p.refit(SimTime::ZERO);
+    p
+}
+
+/// The pre-LUT inverse lookup (512-step grid scan + 40 bisections),
+/// driven through the public curve evaluator.
+fn reference_lookup(p: &DelayProfiler, dest_ms: f64, min_window: f64, max_window: f64) -> f64 {
+    let eval = |w: f64| p.delay_at(w).expect("curve fitted");
+    let lo = min_window.max(1.0);
+    let hi = (p.max_window_seen() * 1.5 + 10.0)
+        .max(lo + 1.0)
+        .min(max_window);
+    if eval(lo) >= dest_ms {
+        return lo;
+    }
+    const STEPS: usize = 512;
+    const BISECTIONS: usize = 40;
+    let mut prev_w = lo;
+    for i in 1..=STEPS {
+        let w = lo + (hi - lo) * i as f64 / STEPS as f64;
+        if eval(w) >= dest_ms {
+            let (mut a, mut b) = (prev_w, w);
+            for _ in 0..BISECTIONS {
+                let m = 0.5 * (a + b);
+                if eval(m) >= dest_ms {
+                    b = m;
+                } else {
+                    a = m;
+                }
+            }
+            return 0.5 * (a + b);
+        }
+        prev_w = w;
+    }
+    hi
+}
+
+/// Mean ns/call of `f` over `iters` calls (after a small warmup).
+fn time_ns(iters: u64, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench_lookup() -> (f64, f64) {
+    let p = profile_with_points(200);
+    // Targets spread across the profile so both paths traverse different
+    // crossing cells (not one cache-warm spot).
+    let dests = [45.0, 90.0, 140.0, 250.0, 380.0, 430.0];
+    let mut k = 0usize;
+    let new_ns = time_ns(200_000, || {
+        let d = dests[k % dests.len()];
+        k += 1;
+        black_box(p.lookup_window(black_box(d), 2.0, 20_000.0));
+    });
+    let mut k = 0usize;
+    let old_ns = time_ns(10_000, || {
+        let d = dests[k % dests.len()];
+        k += 1;
+        black_box(reference_lookup(&p, black_box(d), 2.0, 20_000.0));
+    });
+    (old_ns, new_ns)
+}
+
+fn bench_epochs() -> f64 {
+    let mut cc = VerusCc::default();
+    let mut now = SimTime::ZERO;
+    for s in 0..500u64 {
+        let w = cc.window();
+        cc.on_ack(
+            now,
+            &AckEvent {
+                seq: s,
+                bytes: 1400,
+                rtt: SimDuration::from_millis_f64(20.0 + w),
+                delay: SimDuration::from_millis_f64(10.0 + w / 2.0),
+                send_window: w,
+            },
+        );
+        now += SimDuration::from_millis(1);
+        if s % 5 == 0 {
+            cc.on_tick(now);
+        }
+    }
+    const EPOCHS: u64 = 200_000;
+    let t0 = Instant::now();
+    for i in 0..EPOCHS {
+        cc.on_tick(now + SimDuration::from_millis(5 * (i + 1)));
+    }
+    EPOCHS as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn bench_simulator() -> (u64, f64) {
+    let trace = Scenario::CampusStationary
+        .generate_trace(OperatorModel::Etisalat3G, SimDuration::from_secs(10), 42)
+        .expect("trace");
+    let config = SimConfig {
+        bottleneck: BottleneckConfig::Cell {
+            trace,
+            base_rtt: SimDuration::from_millis(40),
+            loss: 0.0,
+        },
+        queue: QueueConfig::paper_red(),
+        flows: vec![FlowConfig::new(
+            verus_bench::cc_by_name("verus", 2.0),
+        )],
+        duration: SimDuration::from_secs(600),
+        seed: 7,
+        throughput_window: SimDuration::from_secs(1),
+        impairments: Default::default(),
+    };
+    let sim = Simulation::new(config)
+        .expect("valid config")
+        .with_delay_samples(false);
+    let t0 = Instant::now();
+    let (_reports, events) = sim.run_counted();
+    (events, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    println!("profile inversion…");
+    let (lookup_old_ns, lookup_new_ns) = bench_lookup();
+    println!("  old scan : {lookup_old_ns:10.0} ns/lookup");
+    println!("  LUT path : {lookup_new_ns:10.0} ns/lookup");
+    let lookup_speedup = lookup_old_ns / lookup_new_ns;
+    println!("  speedup  : {lookup_speedup:10.1}×");
+
+    println!("verus epochs…");
+    let epochs_per_sec = bench_epochs();
+    println!("  {epochs_per_sec:10.0} epochs/sec");
+
+    println!("simulator (600 simulated seconds, verus over 3G trace)…");
+    let (sim_events, sim_wall_secs) = bench_simulator();
+    let events_per_sec = sim_events as f64 / sim_wall_secs;
+    println!("  {sim_events} events in {sim_wall_secs:.2} s → {events_per_sec:.0} events/sec");
+
+    guard_finite(
+        "bench_baseline",
+        &[
+            ("lookup_old_ns", lookup_old_ns),
+            ("lookup_new_ns", lookup_new_ns),
+            ("lookup_speedup", lookup_speedup),
+            ("epochs_per_sec", epochs_per_sec),
+            ("sim_wall_secs", sim_wall_secs),
+            ("events_per_sec", events_per_sec),
+        ],
+    );
+    let record = Baseline {
+        lookup_old_ns,
+        lookup_new_ns,
+        lookup_speedup,
+        epochs_per_sec,
+        sim_events,
+        sim_wall_secs,
+        events_per_sec,
+    };
+    let path = std::env::var("VERUS_BENCH_OUT").unwrap_or_else(|_| "BENCH_0.json".into());
+    std::fs::write(&path, record.to_json() + "\n").expect("write baseline");
+    println!("→ wrote {path}");
+}

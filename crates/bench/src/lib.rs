@@ -14,9 +14,11 @@
 #![warn(missing_docs)]
 
 pub mod output;
+pub mod parallel;
 pub mod runners;
 
 pub use output::{guard_finite, print_table, results_dir, write_json};
+pub use parallel::{default_jobs, run_ordered};
 pub use runners::{
     cc_by_name, cell_experiment, dumbbell_experiment, CellExperiment, DumbbellExperiment,
     ProtocolSpec,

@@ -15,15 +15,18 @@ pub fn results_dir() -> PathBuf {
 /// Serializes `value` to `results/<name>.json`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));
-    match std::fs::File::create(&path) {
-        Ok(f) => {
-            if let Err(e) = serde_json::to_writer_pretty(f, value) {
-                eprintln!("warning: could not serialize {}: {e}", path.display());
+    // Serialize fully in memory before touching the file: `File::create`
+    // truncates, so serializing straight into it would destroy the
+    // previously committed artifact whenever serialization fails.
+    match serde_json::to_string_pretty(value) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("warning: could not write {}: {e}", path.display());
             } else {
                 println!("→ wrote {}", path.display());
             }
         }
-        Err(e) => eprintln!("warning: could not create {}: {e}", path.display()),
+        Err(e) => eprintln!("warning: could not serialize {}: {e}", path.display()),
     }
 }
 

@@ -1,0 +1,146 @@
+//! A dependency-free work-stealing parallel runner with deterministic,
+//! input-ordered output.
+//!
+//! `repro_all` fans the experiment binaries out across cores with this:
+//! workers claim items from a shared atomic counter (natural work
+//! stealing — a fast worker simply claims the next undone item), results
+//! flow back over a channel, and the coordinator emits each result in
+//! input order as soon as its whole prefix has finished. Output is
+//! therefore byte-identical to a sequential run regardless of job count
+//! or scheduling: [`run_ordered`] with `jobs = 1` short-circuits to a
+//! plain loop, and the determinism test compares the two.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Runs `run` over every item, `jobs` at a time, calling `emit` for each
+/// result **in input order** (emission happens as soon as the full prefix
+/// up to that item is complete). Returns all results in input order.
+///
+/// `jobs` is clamped to `[1, items.len()]`. With one job the items run
+/// sequentially on the calling thread with no channel in between.
+///
+/// # Panics
+/// A panic inside `run` propagates after the remaining workers finish
+/// their current items (threads are scoped).
+pub fn run_ordered<I, T>(
+    items: &[I],
+    jobs: usize,
+    run: impl Fn(usize, &I) -> T + Sync,
+    mut emit: impl FnMut(usize, &T),
+) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, n);
+    if jobs == 1 {
+        let mut out = Vec::with_capacity(n);
+        for (i, item) in items.iter().enumerate() {
+            let r = run(i, item);
+            emit(i, &r);
+            out.push(r);
+        }
+        return out;
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let run = &run;
+        let next = &next;
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = run(i, &items[i]);
+                if tx.send((i, result)).is_err() {
+                    break; // coordinator gone (panic unwinding)
+                }
+            });
+        }
+        drop(tx); // the receive loop ends when the last worker exits
+        let mut emitted = 0;
+        for (i, result) in rx {
+            slots[i] = Some(result);
+            while emitted < n {
+                match &slots[emitted] {
+                    Some(r) => {
+                        emit(emitted, r);
+                        emitted += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item produced a result"))
+        .collect()
+}
+
+/// The parallelism `repro_all` uses by default: `VERUS_REPRO_JOBS` if
+/// set and parseable, otherwise the machine's available cores.
+#[must_use]
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("VERUS_REPRO_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out = run_ordered(&[] as &[u32], 4, |_, x| *x, |_, _| {});
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..50).collect();
+        for jobs in [1, 2, 4, 16] {
+            let emitted = Mutex::new(Vec::new());
+            let out = run_ordered(
+                &items,
+                jobs,
+                |i, &x| {
+                    // Make later items finish earlier to stress reordering.
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        (50 - i as u64) * 20,
+                    ));
+                    x * 2
+                },
+                |i, &r| emitted.lock().unwrap().push((i, r)),
+            );
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+            let emitted = emitted.into_inner().unwrap();
+            assert_eq!(
+                emitted,
+                (0..50).map(|i| (i as usize, i * 2)).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn jobs_are_clamped() {
+        let out = run_ordered(&[1, 2], 1000, |_, &x| x + 1, |_, _| {});
+        assert_eq!(out, vec![2, 3]);
+    }
+}

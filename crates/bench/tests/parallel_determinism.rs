@@ -1,0 +1,80 @@
+//! The parallel repro harness must be invisible in the results: running
+//! the same experiment list with 1 job or many must produce
+//! byte-identical ordered output and byte-identical result records.
+//!
+//! (Full `repro_all` runs take minutes; this drives the same
+//! `run_ordered` executor over real — but short — simulations.)
+
+use verus_bench::{run_ordered, CellExperiment, ProtocolSpec};
+use verus_cellular::{OperatorModel, Scenario};
+use verus_nettypes::SimDuration;
+
+/// One short cell run per (protocol, seed) item, reduced to a text line
+/// capturing every count and two derived metrics at full printed
+/// precision.
+fn run_item(name: &str, seed: u64) -> String {
+    let trace = Scenario::CampusStationary
+        .generate_trace(OperatorModel::Etisalat3G, SimDuration::from_secs(3), seed)
+        .unwrap();
+    let exp = CellExperiment::new(trace, 1, SimDuration::from_secs(5), seed);
+    let spec = if name == "verus" {
+        ProtocolSpec::verus(2.0)
+    } else {
+        ProtocolSpec::baseline(match name {
+            "cubic" => "cubic",
+            "newreno" => "newreno",
+            _ => "vegas",
+        })
+    };
+    let reports = exp.run(spec);
+    let r = &reports[0];
+    format!(
+        "{name} seed={seed} sent={} delivered={} fast_losses={} timeouts={} \
+         mean_delay_ms={:?} mean_mbps={:?}",
+        r.sent,
+        r.delivered,
+        r.fast_losses,
+        r.timeouts,
+        r.mean_delay_ms(),
+        r.mean_throughput_mbps(),
+    )
+}
+
+fn run_suite(jobs: usize) -> (Vec<String>, String) {
+    let items: Vec<(&str, u64)> = vec![
+        ("verus", 1),
+        ("cubic", 2),
+        ("newreno", 3),
+        ("vegas", 4),
+        ("verus", 5),
+        ("cubic", 6),
+    ];
+    let mut log = String::new();
+    let results = run_ordered(
+        &items,
+        jobs,
+        |_, &(name, seed)| run_item(name, seed),
+        |i, line| {
+            log.push_str(&format!("[{i}] {line}\n"));
+        },
+    );
+    (results, log)
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_sequential() {
+    let (seq_results, seq_log) = run_suite(1);
+    for jobs in [2, 4] {
+        let (par_results, par_log) = run_suite(jobs);
+        assert_eq!(seq_results, par_results, "results differ at jobs={jobs}");
+        assert_eq!(seq_log, par_log, "emitted log differs at jobs={jobs}");
+    }
+}
+
+#[test]
+fn repeated_sequential_runs_are_deterministic() {
+    let (a, log_a) = run_suite(1);
+    let (b, log_b) = run_suite(1);
+    assert_eq!(a, b);
+    assert_eq!(log_a, log_b);
+}

@@ -39,7 +39,100 @@ impl ProfileCurve {
             Self::Monotone(s) => s.eval(w),
         }
     }
+}
 
+/// Number of samples in the inverse-lookup table. At the profile scales
+/// Verus runs (windows up to a few thousand packets) this keeps cells
+/// well under one packet wide, so the bisection that refines the crossing
+/// starts from a tight bracket.
+const INV_LUT_SIZE: usize = 2048;
+
+/// Bracket width at which a crossing counts as resolved: three orders of
+/// magnitude below the 1e-6 packet tolerance the lookup guarantees, so
+/// the returned midpoint cannot drift observably from the scan's answer.
+const INV_TOL: f64 = 1e-9;
+
+/// Iteration cap for the bracket refinement. Illinois false position
+/// resolves a sub-packet LUT cell in ~10 evaluations; the periodic forced
+/// bisection bounds the worst case well inside this cap.
+const INV_MAX_REFINE: usize = 64;
+
+/// Dense sampling of the fitted curve over the full probe-able window
+/// range, rebuilt once per [`DelayProfiler::refit`]. Inverse lookups
+/// bracket the threshold crossing here (binary search when the sampled
+/// curve is monotone, one vectorizable sweep of cached `f64`s otherwise)
+/// instead of evaluating the spline hundreds of times per epoch.
+#[derive(Debug, Clone)]
+struct InvLut {
+    lo: f64,
+    hi: f64,
+    ys: Vec<f64>,
+    /// Whether the sampled values are non-decreasing, enabling
+    /// `partition_point` bracketing.
+    monotone: bool,
+}
+
+impl InvLut {
+    fn build(curve: &ProfileCurve, max_window_seen: f64) -> Self {
+        let lo = 1.0;
+        let hi = (max_window_seen * 1.5 + 10.0).max(lo + 1.0);
+        let step = (hi - lo) / (INV_LUT_SIZE - 1) as f64;
+        let ys: Vec<f64> = (0..INV_LUT_SIZE)
+            .map(|i| curve.eval(lo + step * i as f64))
+            .collect();
+        let monotone = ys.windows(2).all(|w| w[1] >= w[0]);
+        Self { lo, hi, ys, monotone }
+    }
+
+    /// Grid abscissa of sample `i`.
+    fn x(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / (self.ys.len() - 1) as f64
+    }
+
+    /// Largest grid point at or below `w` (clamped to the grid).
+    fn floor_x(&self, w: f64) -> f64 {
+        self.x(self.first_index_above(w).saturating_sub(1)).min(w)
+    }
+
+    /// Index of the first grid point strictly above `w` (clamped).
+    fn first_index_above(&self, w: f64) -> usize {
+        if w < self.lo {
+            return 0;
+        }
+        let step = (self.hi - self.lo) / (self.ys.len() - 1) as f64;
+        let i = ((w - self.lo) / step).floor() as usize + 1;
+        i.min(self.ys.len())
+    }
+
+    /// Finds the first grid point in `(from_w, to_w]` whose sampled delay
+    /// reaches `dest`, returning the enclosing cell `(x[i-1], x[i])` along
+    /// with the sampled delays at both ends (exact curve values — the
+    /// table is built from the fitted curve — so the refinement can start
+    /// its secant without re-evaluating the spline).
+    fn bracket(&self, dest: f64, from_w: f64, to_w: f64) -> Option<(f64, f64, f64, f64)> {
+        let start = self.first_index_above(from_w);
+        let end = self.first_index_above(to_w).min(self.ys.len());
+        if start >= end {
+            return None;
+        }
+        let idx = if self.monotone {
+            // Everything at/after the partition point is >= dest, so the
+            // first candidate in range is max(partition, start).
+            let i = self.ys.partition_point(|&y| y < dest).max(start);
+            if i >= end {
+                return None;
+            }
+            i
+        } else {
+            start + self.ys[start..end].iter().position(|&y| y >= dest)?
+        };
+        let (a, ya) = if idx == 0 {
+            (self.lo, self.ys[0])
+        } else {
+            (self.x(idx - 1), self.ys[idx - 1])
+        };
+        Some((a, self.x(idx), ya, self.ys[idx]))
+    }
 }
 
 /// One profile point: smoothed delay plus its freshness.
@@ -63,6 +156,11 @@ pub struct DelayProfiler {
     /// Smoothed delay (ms) per integer window (packets).
     points: BTreeMap<u32, Point>,
     curve: Option<ProfileCurve>,
+    /// Inverse-lookup table over the fitted curve, rebuilt alongside it.
+    /// Skipped by serde: a deserialized profiler regenerates it at its
+    /// next refit; until then lookups fall back to the direct curve scan.
+    #[serde(skip)]
+    inv_lut: Option<InvLut>,
     /// Largest window among live points (sets the upward-probing
     /// headroom; recomputed when points age out).
     max_window_seen: f64,
@@ -85,6 +183,7 @@ impl DelayProfiler {
             max_age,
             points: BTreeMap::new(),
             curve: None,
+            inv_lut: None,
             max_window_seen: 0.0,
         }
     }
@@ -148,7 +247,7 @@ impl DelayProfiler {
         if knots.len() < 2 {
             return false;
         }
-        self.curve = Some(match self.kind {
+        let curve = match self.kind {
             SplineKind::Natural => match NaturalCubic::fit(&knots) {
                 Ok(s) => ProfileCurve::Natural(s),
                 Err(_) => return false,
@@ -157,7 +256,9 @@ impl DelayProfiler {
                 Ok(s) => ProfileCurve::Monotone(s),
                 Err(_) => return false,
             },
-        });
+        };
+        self.inv_lut = Some(InvLut::build(&curve, self.max_window_seen));
+        self.curve = Some(curve);
         true
     }
 
@@ -186,38 +287,130 @@ impl DelayProfiler {
     ///   extends 1.5× past the largest observed window for exactly this
     ///   upward probing.
     ///
+    /// An empty search range (`max_window` below the effective minimum)
+    /// degenerates to the minimum window — there is nothing to scan, and
+    /// the minimum is the most conservative legal answer.
+    ///
     /// Returns `None` until a curve is fitted.
     #[must_use]
     pub fn lookup_window(&self, dest_ms: f64, min_window: f64, max_window: f64) -> Option<f64> {
         let curve = self.curve.as_ref()?;
         let lo = min_window.max(1.0);
-        let hi = (self.max_window_seen * 1.5 + 10.0)
-            .max(lo + 1.0)
-            .min(max_window);
-        if curve.eval(lo) >= dest_ms {
+        let hi = (self.max_window_seen * 1.5 + 10.0).max(lo + 1.0);
+        // Clamp to the caller's cap AFTER establishing the probe headroom;
+        // if the cap sits at or below `lo` the range is empty and the scan
+        // must not run backwards (it used to, returning a window below the
+        // configured minimum).
+        let hi = hi.min(max_window);
+        if hi <= lo {
             return Some(lo);
         }
+        let y_lo = curve.eval(lo);
+        if y_lo >= dest_ms {
+            return Some(lo);
+        }
+        match &self.inv_lut {
+            Some(lut) => {
+                // Bracket the first up-crossing from the table, then refine
+                // inside the cell. The table may stop short of `hi` (samples
+                // added since the last refit extend the headroom; beyond the
+                // knots the curve is linear), so the tail past the last
+                // in-range grid point is handled by the endpoint check.
+                if let Some((a, b, ya, yb)) = lut.bracket(dest_ms, lo, hi) {
+                    // A cell straddling `lo` is re-anchored at `lo`, whose
+                    // curve value is already in hand.
+                    let (a, ya) = if a < lo { (lo, y_lo) } else { (a, ya) };
+                    return Some(Self::refine(curve, dest_ms, a, b, ya, yb));
+                }
+                let tail_start = lut.floor_x(hi).max(lo);
+                let y_hi = curve.eval(hi);
+                if y_hi >= dest_ms {
+                    let y_tail = curve.eval(tail_start);
+                    return Some(Self::refine(curve, dest_ms, tail_start, hi, y_tail, y_hi));
+                }
+                Some(hi)
+            }
+            // No table (freshly deserialized): direct coarse scan with the
+            // same threshold semantics.
+            None => Some(Self::scan_lookup(curve, dest_ms, lo, hi)),
+        }
+    }
+
+    /// Collapses the bracket `[a, b]` — `curve(a) < dest_ms <= curve(b)`,
+    /// with `ya`/`yb` the already-known curve values at the ends — onto
+    /// the threshold crossing, preserving the scan's invariant that the
+    /// returned window is the point where the curve first reaches
+    /// `dest_ms` within the bracket.
+    ///
+    /// Uses Illinois false position: the secant through the bracket ends
+    /// jumps nearly onto the crossing of the locally-cubic curve, and
+    /// halving the retained endpoint's residual whenever the same side
+    /// survives twice forces both ends to converge instead of one
+    /// stagnating. A bisection step every eighth iteration bounds the
+    /// worst case. Terminates once the bracket is [`INV_TOL`] wide —
+    /// far below the 1e-6 packet agreement the equivalence tests check —
+    /// in ~10 curve evaluations instead of the 40 blind bisections the
+    /// original scan used.
+    fn refine(curve: &ProfileCurve, dest_ms: f64, a: f64, b: f64, ya: f64, yb: f64) -> f64 {
+        let (mut a, mut b) = (a, b);
+        let mut fa = ya - dest_ms;
+        let mut fb = yb - dest_ms;
+        if fa >= 0.0 {
+            // Degenerate bracket (caller guards make this unreachable in
+            // practice); the left end already satisfies the threshold.
+            return a;
+        }
+        let mut last_kept: i8 = 0;
+        for i in 0..INV_MAX_REFINE {
+            let width = b - a;
+            if width <= INV_TOL {
+                break;
+            }
+            let mut t = if (i + 1) % 8 == 0 {
+                0.5 * (a + b)
+            } else {
+                a - fa * width / (fb - fa)
+            };
+            // Keep the trial strictly interior so a flat secant cannot
+            // stall against an endpoint.
+            t = t.clamp(a + 0.01 * width, b - 0.01 * width);
+            let ft = curve.eval(t) - dest_ms;
+            if ft >= 0.0 {
+                b = t;
+                fb = ft;
+                if last_kept == -1 {
+                    fa *= 0.5;
+                }
+                last_kept = -1;
+            } else {
+                a = t;
+                fa = ft;
+                if last_kept == 1 {
+                    fb *= 0.5;
+                }
+                last_kept = 1;
+            }
+        }
+        0.5 * (a + b)
+    }
+
+    /// The pre-LUT inverse lookup: walk a 512-point grid over `[lo, hi]`
+    /// and refine the first crossing cell. Kept as the fallback for
+    /// profilers deserialized without a table.
+    fn scan_lookup(curve: &ProfileCurve, dest_ms: f64, lo: f64, hi: f64) -> f64 {
         const STEPS: usize = 512;
-        const BISECTIONS: usize = 40;
         let mut prev_w = lo;
+        let mut prev_y = curve.eval(lo);
         for i in 1..=STEPS {
             let w = lo + (hi - lo) * i as f64 / STEPS as f64;
-            if curve.eval(w) >= dest_ms {
-                // Refine the crossing within [prev_w, w].
-                let (mut a, mut b) = (prev_w, w);
-                for _ in 0..BISECTIONS {
-                    let m = 0.5 * (a + b);
-                    if curve.eval(m) >= dest_ms {
-                        b = m;
-                    } else {
-                        a = m;
-                    }
-                }
-                return Some(0.5 * (a + b));
+            let y = curve.eval(w);
+            if y >= dest_ms {
+                return Self::refine(curve, dest_ms, prev_w, w, prev_y, y);
             }
             prev_w = w;
+            prev_y = y;
         }
-        Some(hi)
+        hi
     }
 
     /// Samples the fitted curve at `n` evenly spaced windows across
@@ -309,6 +502,35 @@ mod tests {
         // Target astronomically high → capped by the headroom/max rule.
         let w = p.lookup_window(1e9, 1.0, 60.0).unwrap();
         assert!(w <= 60.0);
+    }
+
+    #[test]
+    fn empty_range_returns_min_window() {
+        // Regression: max_window below the effective minimum used to make
+        // hi < lo, and the scan fell through to Some(hi) — a window BELOW
+        // the configured minimum. The empty range must degenerate to lo.
+        let mut p = profiler();
+        feed_linear(&mut p);
+        assert_eq!(p.lookup_window(1e9, 50.0, 10.0), Some(50.0));
+        assert_eq!(p.lookup_window(1.0, 50.0, 10.0), Some(50.0));
+        // hi == lo is likewise empty.
+        assert_eq!(p.lookup_window(1e9, 42.0, 42.0), Some(42.0));
+    }
+
+    #[test]
+    fn lut_and_fallback_scan_agree() {
+        // A profiler deserialized from a snapshot loses its LUT (the field
+        // is serde-skipped) and takes the direct-scan path; both paths must
+        // land on the same window.
+        let mut p = profiler();
+        feed_linear(&mut p);
+        let mut stripped = p.clone();
+        stripped.inv_lut = None;
+        for dest in [1.0, 30.0, 60.0, 95.0, 121.9, 140.0, 1e6] {
+            let fast = p.lookup_window(dest, 1.0, 1000.0).unwrap();
+            let slow = stripped.lookup_window(dest, 1.0, 1000.0).unwrap();
+            assert!((fast - slow).abs() < 1e-6, "dest={dest}: {fast} vs {slow}");
+        }
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! The LUT-accelerated inverse lookup must reproduce the original
+//! 512-step threshold scan exactly (within 1e-6 packets).
+//!
+//! `reference_lookup` below is a line-for-line port of the pre-LUT
+//! `DelayProfiler::lookup_window`, driven through the public `delay_at`
+//! evaluator so it sees the very same fitted curve. Seeded generators
+//! sweep both spline kinds over noisy increasing delay profiles and a
+//! grid of targets covering every branch: below-curve, interior
+//! crossings, extrapolated headroom, and above-everything.
+
+use verus_core::config::SplineKind;
+use verus_core::profile::DelayProfiler;
+use verus_nettypes::SimTime;
+
+/// The original scan: 512 grid steps over `[lo, hi]`, 40 bisections on
+/// the first crossing cell.
+fn reference_lookup(p: &DelayProfiler, dest_ms: f64, min_window: f64, max_window: f64) -> f64 {
+    let eval = |w: f64| p.delay_at(w).expect("curve fitted");
+    let lo = min_window.max(1.0);
+    let hi = (p.max_window_seen() * 1.5 + 10.0)
+        .max(lo + 1.0)
+        .min(max_window);
+    if eval(lo) >= dest_ms {
+        return lo;
+    }
+    const STEPS: usize = 512;
+    const BISECTIONS: usize = 40;
+    let mut prev_w = lo;
+    for i in 1..=STEPS {
+        let w = lo + (hi - lo) * i as f64 / STEPS as f64;
+        if eval(w) >= dest_ms {
+            let (mut a, mut b) = (prev_w, w);
+            for _ in 0..BISECTIONS {
+                let m = 0.5 * (a + b);
+                if eval(m) >= dest_ms {
+                    b = m;
+                } else {
+                    a = m;
+                }
+            }
+            return 0.5 * (a + b);
+        }
+        prev_w = w;
+    }
+    hi
+}
+
+/// Deterministic LCG in [0, 1).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Builds a fitted profiler from a noisy increasing delay profile.
+fn noisy_profiler(kind: SplineKind, seed: u64, n_points: u32) -> DelayProfiler {
+    let mut rng = Lcg(seed);
+    let mut p = DelayProfiler::new(0.875, kind);
+    let base = 15.0 + 30.0 * rng.next();
+    let slope = 1.0 + 4.0 * rng.next();
+    for w in 1..=n_points {
+        // Mild noise: enough to dent the curve, not enough to create
+        // multiple threshold crossings (where a 512-step grid and a
+        // 2048-step grid could legitimately disagree about "first").
+        let noise = (rng.next() - 0.5) * 0.8;
+        let delay = base + slope * f64::from(w) + noise;
+        p.add_sample(SimTime::ZERO, f64::from(w), delay);
+    }
+    assert!(p.refit(SimTime::ZERO));
+    p
+}
+
+fn check_profile(kind: SplineKind, seed: u64, n_points: u32) {
+    let p = noisy_profiler(kind, seed, n_points);
+    let mut rng = Lcg(seed ^ 0xdead_beef);
+    let lo_delay = p.delay_at(1.0).unwrap();
+    let hi_delay = p.delay_at(p.max_window_seen() * 1.5 + 10.0).unwrap();
+    // Targets spanning below the curve, across it, and far above it.
+    let mut targets = vec![0.0, lo_delay - 1.0, lo_delay, hi_delay, hi_delay + 5.0, 1e9];
+    for _ in 0..40 {
+        targets.push(lo_delay + (hi_delay - lo_delay) * rng.next());
+    }
+    for dest in targets {
+        for (min_w, max_w) in [(1.0, 1e9), (1.0, 40.0), (5.0, 1000.0), (2.5, 77.0)] {
+            let fast = p.lookup_window(dest, min_w, max_w).unwrap();
+            let slow = reference_lookup(&p, dest, min_w, max_w);
+            assert!(
+                (fast - slow).abs() < 1e-6,
+                "{kind:?} seed={seed} dest={dest} range=({min_w},{max_w}): \
+                 lut={fast} scan={slow}"
+            );
+        }
+    }
+}
+
+#[test]
+fn natural_lut_matches_reference_scan() {
+    for seed in [1, 7, 42, 1234, 98765] {
+        check_profile(SplineKind::Natural, seed, 60);
+    }
+}
+
+#[test]
+fn monotone_lut_matches_reference_scan() {
+    for seed in [2, 11, 77, 4321, 55555] {
+        check_profile(SplineKind::Monotone, seed, 60);
+    }
+}
+
+#[test]
+fn small_profiles_match_too() {
+    // Two- and three-point profiles exercise the degenerate spline paths.
+    for kind in [SplineKind::Natural, SplineKind::Monotone] {
+        for n in [2, 3, 5] {
+            check_profile(kind, 1000 + u64::from(n), n);
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Per-flow measurement results.
 
 use serde::{Deserialize, Serialize};
-use verus_stats::{Summary, ThroughputSeries};
+use verus_stats::{StreamingStats, Summary, ThroughputSeries};
 
 /// Everything measured about one flow during a simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -14,8 +14,16 @@ pub struct FlowReport {
     /// [`crate::SimConfig::throughput_window`]).
     pub throughput: ThroughputSeries,
     /// Per-packet one-way delays (ms) in arrival order — the paper's
-    /// "delay" axis (self-inflicted queueing plus propagation).
+    /// "delay" axis (self-inflicted queueing plus propagation). Empty when
+    /// the simulation was built with sample buffering disabled
+    /// ([`crate::Simulation::with_delay_samples`]); the streaming
+    /// statistics below are always populated.
     pub delays_ms: Vec<f64>,
+    /// Streaming delay statistics (exact mean/min/max, P² quantiles,
+    /// histogram) recorded for every delivery regardless of whether raw
+    /// samples are buffered.
+    #[serde(default = "StreamingStats::for_delays_ms")]
+    pub delay_stats: StreamingStats,
     /// Packets handed to the network.
     pub sent: u64,
     /// Packets delivered to the receiver.
@@ -60,14 +68,24 @@ impl FlowReport {
     }
 
     /// Delay summary (mean / percentiles), or `None` if nothing arrived.
+    /// Computed exactly from the raw samples when they were buffered;
+    /// otherwise assembled from the streaming statistics (P² quantiles).
     #[must_use]
     pub fn delay_summary(&self) -> Option<Summary> {
+        if self.delays_ms.is_empty() {
+            return self.delay_stats.summary();
+        }
         Summary::from_samples(&self.delays_ms)
     }
 
-    /// Mean one-way delay in ms (0 when nothing arrived).
+    /// Mean one-way delay in ms (0 when nothing arrived). O(1): reads the
+    /// running mean; hand-built reports that only filled `delays_ms` fall
+    /// back to averaging those.
     #[must_use]
     pub fn mean_delay_ms(&self) -> f64 {
+        if self.delay_stats.count() > 0 {
+            return self.delay_stats.mean();
+        }
         if self.delays_ms.is_empty() {
             return 0.0;
         }
@@ -112,6 +130,7 @@ mod tests {
             flow: 0,
             throughput,
             delays_ms: vec![10.0, 20.0, 30.0],
+            delay_stats: StreamingStats::from_samples(&[10.0, 20.0, 30.0]),
             sent: 100,
             delivered: 98,
             fast_losses: 2,
@@ -162,6 +181,7 @@ mod tests {
             flow: 1,
             throughput: ThroughputSeries::new(1.0),
             delays_ms: vec![],
+            delay_stats: StreamingStats::for_delays_ms(),
             sent: 0,
             delivered: 0,
             fast_losses: 0,

@@ -34,7 +34,7 @@ use verus_cellular::trace::Opportunity;
 use verus_nettypes::{
     AckEvent, CongestionControl, LossEvent, LossKind, RttEstimator, SimDuration, SimTime,
 };
-use verus_stats::ThroughputSeries;
+use verus_stats::{StreamingStats, ThroughputSeries};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
@@ -121,7 +121,10 @@ struct FlowState {
     rto_retries: u32,
     // metrics
     throughput: ThroughputSeries,
+    /// Raw per-delivery samples; left empty when sample buffering is off.
     delays_ms: Vec<f64>,
+    /// Always-on O(1) delay statistics.
+    delay_stats: StreamingStats,
     sent: u64,
     delivered: u64,
     fast_losses: u64,
@@ -183,6 +186,16 @@ pub struct Simulation {
     service: Service,
     rng: StdRng,
     impairments: Impairments,
+    /// Whether raw per-delivery delay samples are buffered into
+    /// `delays_ms` (streaming statistics are recorded either way).
+    record_delay_samples: bool,
+    /// Events processed so far (throughput figure for the perf baseline).
+    events: u64,
+    // Scratch buffers reused across events so the hot loop performs no
+    // per-event heap allocation (they are taken, drained, and put back).
+    scratch_deliveries: Vec<QueuedPacket>,
+    scratch_condemned: Vec<u64>,
+    scratch_arm: Vec<(u64, SimTime)>,
 }
 
 impl Simulation {
@@ -212,6 +225,7 @@ impl Simulation {
                 rto_retries: 0,
                 throughput: ThroughputSeries::new(window_s),
                 delays_ms: Vec::new(),
+                delay_stats: StreamingStats::for_delays_ms(),
                 sent: 0,
                 delivered: 0,
                 fast_losses: 0,
@@ -257,6 +271,11 @@ impl Simulation {
             service,
             rng: StdRng::seed_from_u64(config.seed),
             impairments: Impairments::new(config.impairments),
+            record_delay_samples: true,
+            events: 0,
+            scratch_deliveries: Vec::new(),
+            scratch_condemned: Vec::new(),
+            scratch_arm: Vec::new(),
         };
 
         for i in 0..sim.flows.len() {
@@ -298,15 +317,46 @@ impl Simulation {
         }));
     }
 
+    /// Disables (or re-enables) buffering of raw per-delivery delay
+    /// samples into [`FlowReport::delays_ms`]. Streaming statistics are
+    /// recorded regardless, so summaries stay available; turning the
+    /// buffer off makes long many-flow runs O(1) in memory.
+    #[must_use]
+    pub fn with_delay_samples(mut self, enabled: bool) -> Self {
+        self.record_delay_samples = enabled;
+        self
+    }
+
     /// Runs to completion and returns per-flow reports.
     pub fn run(self) -> Vec<FlowReport> {
         self.run_observed(SimDuration::MAX, |_, _| {})
     }
 
+    /// Runs to completion and additionally returns the number of events
+    /// processed (the denominator for events/sec perf baselines).
+    pub fn run_counted(self) -> (Vec<FlowReport>, u64) {
+        let mut events = 0;
+        let reports = self.run_observed_counting(SimDuration::MAX, |_, _| {}, &mut events);
+        (reports, events)
+    }
+
     /// Runs to completion, invoking `observer` every `interval` with the
     /// current time and the flows' controllers (for live sampling of
     /// protocol internals, e.g. Verus' delay profile for Figure 7b).
-    pub fn run_observed<F>(mut self, interval: SimDuration, mut observer: F) -> Vec<FlowReport>
+    pub fn run_observed<F>(self, interval: SimDuration, observer: F) -> Vec<FlowReport>
+    where
+        F: FnMut(SimTime, &[&dyn CongestionControl]),
+    {
+        let mut events = 0;
+        self.run_observed_counting(interval, observer, &mut events)
+    }
+
+    fn run_observed_counting<F>(
+        mut self,
+        interval: SimDuration,
+        mut observer: F,
+        events_out: &mut u64,
+    ) -> Vec<FlowReport>
     where
         F: FnMut(SimTime, &[&dyn CongestionControl]),
     {
@@ -318,6 +368,7 @@ impl Simulation {
                 break;
             }
             self.now = ev.time;
+            self.events += 1;
             match ev.kind {
                 EventKind::Observe => {
                     let ccs: Vec<&dyn CongestionControl> =
@@ -333,6 +384,7 @@ impl Simulation {
             }
         }
         let end_secs = self.end.as_secs_f64();
+        *events_out = self.events;
         self.flows
             .into_iter()
             .enumerate()
@@ -341,6 +393,7 @@ impl Simulation {
                 flow: i,
                 throughput: f.throughput,
                 delays_ms: f.delays_ms,
+                delay_stats: f.delay_stats,
                 sent: f.sent,
                 delivered: f.delivered,
                 fast_losses: f.fast_losses,
@@ -410,7 +463,11 @@ impl Simulation {
                     }
                 }
                 let delay = self.now.saturating_since(sent_at);
-                f.delays_ms.push(delay.as_millis_f64());
+                let delay_ms = delay.as_millis_f64();
+                f.delay_stats.record(delay_ms);
+                if self.record_delay_samples {
+                    f.delays_ms.push(delay_ms);
+                }
                 f.throughput
                     .record(self.now.as_secs_f64(), u64::from(bytes));
                 // Receiver ACKs immediately; ACK path is uncongested.
@@ -673,7 +730,11 @@ impl Simulation {
     fn on_cell_opportunity(&mut self) {
         let blackout = self.impairments.in_blackout(self.now);
         // Phase 1: drain the queue using the opportunity's byte budget.
-        let mut deliveries: Vec<QueuedPacket> = Vec::new();
+        // The delivery buffer is owned by the simulation and reused across
+        // events; taking it out keeps the borrow checker happy while
+        // `self.queue` and `self.service` are borrowed.
+        let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
+        debug_assert!(deliveries.is_empty());
         {
             let Service::Cell {
                 ref opportunities,
@@ -717,9 +778,10 @@ impl Simulation {
             self.schedule(t, EventKind::CellOpportunity);
         }
         // Phase 2: egress impairments + delivery scheduling.
-        for pkt in deliveries {
+        for pkt in deliveries.drain(..) {
             self.depart(pkt);
         }
+        self.scratch_deliveries = deliveries;
     }
 
     // ---- receiving ACKs ------------------------------------------------
@@ -771,9 +833,11 @@ impl Simulation {
             self.schedule(deadline, EventKind::RtoCheck(flow));
         }
 
-        // Loss detection on the holes below this ACK.
-        let mut condemned: Vec<u64> = Vec::new();
-        let mut to_arm: Vec<(u64, SimTime)> = Vec::new();
+        // Loss detection on the holes below this ACK. Both work lists are
+        // simulation-owned scratch buffers reused across events.
+        let mut condemned = std::mem::take(&mut self.scratch_condemned);
+        let mut to_arm = std::mem::take(&mut self.scratch_arm);
+        debug_assert!(condemned.is_empty() && to_arm.is_empty());
         {
             let f = &mut self.flows[flow];
             let detection = f.loss_detection;
@@ -796,12 +860,14 @@ impl Simulation {
                 }
             }
         }
-        for (hole, deadline) in to_arm {
+        for (hole, deadline) in to_arm.drain(..) {
             self.schedule(deadline, EventKind::GapTimer { flow, seq: hole });
         }
-        for hole in condemned {
+        for hole in condemned.drain(..) {
             self.declare_fast_loss(flow, hole);
         }
+        self.scratch_condemned = condemned;
+        self.scratch_arm = to_arm;
         self.pump(flow);
     }
 
@@ -1110,6 +1176,65 @@ mod tests {
         let reports = Simulation::new(config).unwrap().run();
         assert!(reports[0].completion_secs.is_none());
         assert!(reports[0].delivered > 0);
+    }
+
+    #[test]
+    fn streaming_stats_match_buffered_samples() {
+        let flows = vec![crate::config::FlowConfig::new(Box::new(FixedWindow::new(
+            50,
+        )))];
+        let reports = fixed_sim(5e6, 40, 0.01, flows, 10, 13);
+        let r = &reports[0];
+        assert_eq!(r.delay_stats.count(), r.delays_ms.len() as u64);
+        let exact = r.delays_ms.iter().sum::<f64>() / r.delays_ms.len() as f64;
+        assert!((r.delay_stats.mean() - exact).abs() < 1e-9);
+        assert_eq!(r.mean_delay_ms(), r.delay_stats.mean());
+    }
+
+    #[test]
+    fn disabling_delay_samples_keeps_summaries() {
+        let make = || {
+            let config = SimConfig {
+                bottleneck: BottleneckConfig::fixed(5e6, SimDuration::from_millis(40), 0.0),
+                queue: QueueConfig::deep_droptail(),
+                flows: vec![crate::config::FlowConfig::new(Box::new(FixedWindow::new(
+                    50,
+                )))],
+                duration: SimDuration::from_secs(10),
+                seed: 14,
+                throughput_window: SimDuration::from_secs(1),
+                impairments: Default::default(),
+            };
+            Simulation::new(config).unwrap()
+        };
+        let with = make().run();
+        let without = make().with_delay_samples(false).run();
+        assert!(!with[0].delays_ms.is_empty());
+        assert!(without[0].delays_ms.is_empty());
+        // Same seed, same run: the streaming stats are identical, and the
+        // sample-free report still produces a summary.
+        assert_eq!(with[0].delay_stats.count(), without[0].delay_stats.count());
+        assert_eq!(with[0].mean_delay_ms(), without[0].mean_delay_ms());
+        let s = without[0].delay_summary().expect("summary without samples");
+        assert!((s.mean - with[0].delay_summary().unwrap().mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_counted_reports_events() {
+        let config = SimConfig {
+            bottleneck: BottleneckConfig::fixed(5e6, SimDuration::from_millis(40), 0.0),
+            queue: QueueConfig::deep_droptail(),
+            flows: vec![crate::config::FlowConfig::new(Box::new(FixedWindow::new(
+                10,
+            )))],
+            duration: SimDuration::from_secs(5),
+            seed: 15,
+            throughput_window: SimDuration::from_secs(1),
+            impairments: Default::default(),
+        };
+        let (reports, events) = Simulation::new(config).unwrap().run_counted();
+        // Every delivery implies at least a Deliver and an AckArrive event.
+        assert!(events >= reports[0].delivered * 2);
     }
 
     #[test]

@@ -72,6 +72,28 @@ impl std::fmt::Display for SplineError {
 
 impl std::error::Error for SplineError {}
 
+/// Locates the segment index `i` with `xs[i] <= x < xs[i+1]` (clamped to
+/// the valid segment range), trying `hint` and its right neighbour before
+/// falling back to binary search. Callers store the returned index back
+/// into `hint`, so sweeps over nearby x-values resolve in O(1) and cold
+/// lookups stay O(log n).
+pub(crate) fn segment_with_hint(xs: &[f64], x: f64, hint: &std::cell::Cell<usize>) -> usize {
+    let last = xs.len() - 2;
+    let h = hint.get().min(last);
+    if xs[h] <= x {
+        if x < xs[h + 1] {
+            return h;
+        }
+        if h < last && x < xs[h + 2] {
+            return h + 1;
+        }
+    }
+    match xs.binary_search_by(|v| v.total_cmp(&x)) {
+        Ok(i) => i.min(last),
+        Err(ins) => ins.saturating_sub(1).min(last),
+    }
+}
+
 /// Validates knots: at least two, finite, strictly increasing x.
 pub(crate) fn validate(knots: &[(f64, f64)]) -> Result<(), SplineError> {
     if knots.len() < 2 {
@@ -140,6 +162,24 @@ pub trait Curve {
         } else {
             hi
         }
+    }
+
+    /// Samples the curve at `n` evenly spaced points across its knot
+    /// domain, returning `(x, f(x))` pairs — the raw material for
+    /// lookup tables that cache the curve between refits (the delay
+    /// profiler rebuilds its inversion LUT from exactly this).
+    ///
+    /// # Panics
+    /// Panics if `n < 2` — a LUT needs both endpoints.
+    fn sample_lut(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "sample_lut needs at least 2 samples, got {n}");
+        let (lo, hi) = self.domain();
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
     }
 }
 

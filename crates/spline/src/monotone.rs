@@ -8,6 +8,7 @@
 
 use crate::{validate, Curve, SplineError};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 
 /// A fitted Fritsch–Carlson monotone cubic interpolant.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -16,6 +17,11 @@ pub struct MonotoneCubic {
     ys: Vec<f64>,
     /// Tangents (first derivatives) at the knots.
     d: Vec<f64>,
+    /// Last segment served by [`Self::segment`] (see
+    /// [`crate::NaturalCubic`] for why: sweeps hit adjacent segments, so
+    /// the cached hint makes them O(1) amortized).
+    #[serde(skip)]
+    hint: Cell<usize>,
 }
 
 impl MonotoneCubic {
@@ -65,7 +71,12 @@ impl MonotoneCubic {
             }
         }
 
-        Ok(Self { xs, ys, d })
+        Ok(Self {
+            xs,
+            ys,
+            d,
+            hint: Cell::new(0),
+        })
     }
 
     /// Number of knots.
@@ -81,10 +92,9 @@ impl MonotoneCubic {
     }
 
     fn segment(&self, x: f64) -> usize {
-        match self.xs.binary_search_by(|v| v.total_cmp(&x)) {
-            Ok(i) => i.min(self.xs.len() - 2),
-            Err(ins) => ins.saturating_sub(1).min(self.xs.len() - 2),
-        }
+        let i = crate::segment_with_hint(&self.xs, x, &self.hint);
+        self.hint.set(i);
+        i
     }
 }
 
@@ -195,5 +205,30 @@ mod tests {
     fn two_knots_is_a_line() {
         let s = MonotoneCubic::fit(&[(0.0, 0.0), (10.0, 5.0)]).unwrap();
         assert!((s.eval(4.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hinted_segment_lookup_matches_cold_lookup() {
+        let knots: Vec<(f64, f64)> =
+            (0..=30).map(|i| (i as f64, (i as f64).sqrt() * 10.0)).collect();
+        let s = MonotoneCubic::fit(&knots).unwrap();
+        let xs: Vec<f64> = (0..600)
+            .map(|i| (i as f64 * 0.05) % 30.0)
+            .chain((0..600).map(|i| 30.0 - (i as f64 * 0.05) % 30.0))
+            .chain((0..100).map(|i| ((i * 53) % 301) as f64 / 10.0))
+            .collect();
+        for x in xs {
+            let cold = MonotoneCubic::fit(&knots).unwrap();
+            assert_eq!(s.eval(x).to_bits(), cold.eval(x).to_bits(), "at {x}");
+        }
+    }
+
+    #[test]
+    fn sample_lut_endpoints_are_knot_domain() {
+        let s = MonotoneCubic::fit(&[(2.0, 1.0), (4.0, 3.0), (8.0, 9.0)]).unwrap();
+        let lut = s.sample_lut(5);
+        assert_eq!(lut[0], (2.0, 1.0));
+        assert_eq!(lut[4].0, 8.0);
+        assert_eq!(lut[4].1, 9.0);
     }
 }

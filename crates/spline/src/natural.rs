@@ -8,6 +8,7 @@
 
 use crate::{validate, Curve, SplineError};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 
 /// A fitted natural cubic spline.
 ///
@@ -28,6 +29,12 @@ pub struct NaturalCubic {
     ys: Vec<f64>,
     /// Second derivatives at the knots.
     m: Vec<f64>,
+    /// Last segment served by [`Self::segment`]. Evaluation sweeps (LUT
+    /// builds, curve sampling, bisection) hit the same or an adjacent
+    /// segment almost every call, so checking the hint first makes those
+    /// lookups O(1) amortized; a miss falls back to binary search.
+    #[serde(skip)]
+    hint: Cell<usize>,
 }
 
 impl NaturalCubic {
@@ -44,6 +51,7 @@ impl NaturalCubic {
                 xs,
                 ys,
                 m: vec![0.0, 0.0],
+                hint: Cell::new(0),
             });
         }
 
@@ -74,7 +82,12 @@ impl NaturalCubic {
                 m[i] = (rhs[i] - upper[i] * m[i + 1]) / diag[i];
             }
         }
-        Ok(Self { xs, ys, m })
+        Ok(Self {
+            xs,
+            ys,
+            m,
+            hint: Cell::new(0),
+        })
     }
 
     /// Number of knots.
@@ -109,11 +122,9 @@ impl NaturalCubic {
     }
 
     fn segment(&self, x: f64) -> usize {
-        // Binary search for i with xs[i] <= x < xs[i+1].
-        match self.xs.binary_search_by(|v| v.total_cmp(&x)) {
-            Ok(i) => i.min(self.xs.len() - 2),
-            Err(ins) => ins.saturating_sub(1).min(self.xs.len() - 2),
-        }
+        let i = crate::segment_with_hint(&self.xs, x, &self.hint);
+        self.hint.set(i);
+        i
     }
 
     /// Slope used for linear extrapolation beyond knot `edge` (0 or last).
@@ -233,6 +244,35 @@ mod tests {
         let s = NaturalCubic::fit(&[(0.0, 10.0), (10.0, 20.0)]).unwrap();
         assert_eq!(s.solve_x(5.0, 0.0, 10.0), 0.0); // below curve → left edge
         assert_eq!(s.solve_x(25.0, 0.0, 10.0), 10.0); // above → right edge
+    }
+
+    #[test]
+    fn hinted_segment_lookup_matches_cold_lookup() {
+        let s = NaturalCubic::fit(&knots_quadratic()).unwrap();
+        // A forward sweep, a backward sweep, and random-ish jumps must all
+        // agree with a freshly fitted spline whose untouched hint forces
+        // the binary-search path.
+        let xs: Vec<f64> = (0..500)
+            .map(|i| (i as f64 * 0.02) % 10.0)
+            .chain((0..500).map(|i| 10.0 - (i as f64 * 0.02) % 10.0))
+            .chain((0..100).map(|i| ((i * 37) % 101) as f64 / 10.0))
+            .collect();
+        for x in xs {
+            let cold = NaturalCubic::fit(&knots_quadratic()).unwrap();
+            assert_eq!(s.eval(x).to_bits(), cold.eval(x).to_bits(), "at {x}");
+        }
+    }
+
+    #[test]
+    fn sample_lut_covers_domain_and_matches_eval() {
+        let s = NaturalCubic::fit(&knots_quadratic()).unwrap();
+        let lut = s.sample_lut(21);
+        assert_eq!(lut.len(), 21);
+        assert_eq!(lut[0].0, 0.0);
+        assert_eq!(lut[20].0, 10.0);
+        for &(x, y) in &lut {
+            assert_eq!(y.to_bits(), s.eval(x).to_bits());
+        }
     }
 
     #[test]

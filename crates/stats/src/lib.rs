@@ -25,12 +25,14 @@ pub mod histogram;
 pub mod jain;
 pub mod quantile;
 pub mod running;
+pub mod stream;
 pub mod timeseries;
 
 pub use dist::{Exponential, LogNormal, Normal, Pareto, Poisson};
 pub use ewma::Ewma;
 pub use histogram::{Histogram, LogHistogram};
 pub use jain::jain_index;
-pub use quantile::{quantile, Summary};
+pub use quantile::{quantile, P2Quantile, Summary};
 pub use running::Running;
+pub use stream::StreamingStats;
 pub use timeseries::{windowed_jain_mean, windowed_jain_mean_from, ThroughputSeries, WindowedSeries};

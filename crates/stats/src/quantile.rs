@@ -86,6 +86,172 @@ impl Summary {
     }
 }
 
+/// Streaming quantile estimation with the P² algorithm (Jain & Chlamtac
+/// 1985): five markers track the target quantile in O(1) memory and O(1)
+/// per observation, without storing the sample.
+///
+/// The first five observations are kept exactly; until then
+/// [`Self::estimate`] computes the exact type-7 quantile of what has been
+/// seen, so small fixtures get identical answers to a sort-based
+/// computation. From the sixth observation on, the marker heights are
+/// adjusted with the parabolic (falling back to linear) P² update and the
+/// estimate is the middle marker.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct P2Quantile {
+    /// Target quantile in `[0, 1]`.
+    p: f64,
+    /// Observations seen.
+    n: u64,
+    /// Marker heights (the first `n` entries hold raw samples while
+    /// `n < 5`).
+    q: [f64; 5],
+    /// Marker positions, 1-based as in the paper.
+    pos: [f64; 5],
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p <= 1`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "quantile must be in [0,1], got {p}");
+        Self {
+            p,
+            n: 0,
+            q: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+        }
+    }
+
+    /// Target quantile this estimator tracks.
+    #[must_use]
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
+
+    /// Observations seen so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "P2Quantile observed {x}");
+        if self.n < 5 {
+            self.q[self.n as usize] = x;
+            self.n += 1;
+            if self.n == 5 {
+                self.q.sort_by(f64::total_cmp);
+            }
+            return;
+        }
+        self.n += 1;
+        // Locate the cell k with q[k] <= x < q[k+1], extending the
+        // extreme markers when x falls outside them.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = self.q[4].max(x);
+            3
+        } else {
+            // q[k] <= x < q[k+1] for some k in 1..=3 ∪ {0}.
+            let mut k = 0;
+            while k < 3 && x >= self.q[k + 1] {
+                k += 1;
+            }
+            k
+        };
+        for i in (k + 1)..5 {
+            self.pos[i] += 1.0;
+        }
+        // Desired positions for the current count.
+        let nm1 = (self.n - 1) as f64;
+        let dn = [0.0, self.p / 2.0, self.p, (1.0 + self.p) / 2.0, 1.0];
+        for i in 1..4 {
+            let desired = 1.0 + nm1 * dn[i];
+            let d = desired - self.pos[i];
+            if (d >= 1.0 && self.pos[i + 1] - self.pos[i] > 1.0)
+                || (d <= -1.0 && self.pos[i - 1] - self.pos[i] < -1.0)
+            {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < candidate && candidate < self.q[i + 1] {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.pos[i] += d;
+            }
+        }
+    }
+
+    /// P² piecewise-parabolic marker adjustment.
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.pos;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    /// Linear fallback when the parabola would leave the bracket.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.pos[j] - self.pos[i])
+    }
+
+    /// Current estimate, or `None` before any observation. Exact for
+    /// fewer than five observations.
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        if self.n < 5 {
+            let mut sorted = self.q[..self.n as usize].to_vec();
+            sorted.sort_by(f64::total_cmp);
+            return Some(quantile_sorted(&sorted, self.p));
+        }
+        Some(self.q[2])
+    }
+
+    /// Smallest observation seen (marker 0), or `None` when empty.
+    #[must_use]
+    pub fn observed_min(&self) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        if self.n < 5 {
+            let mut m = self.q[0];
+            for &v in &self.q[1..self.n as usize] {
+                m = m.min(v);
+            }
+            return Some(m);
+        }
+        Some(self.q[0])
+    }
+
+    /// Largest observation seen (marker 4), or `None` when empty.
+    #[must_use]
+    pub fn observed_max(&self) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        if self.n < 5 {
+            let mut m = self.q[0];
+            for &v in &self.q[1..self.n as usize] {
+                m = m.max(v);
+            }
+            return Some(m);
+        }
+        Some(self.q[4])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +307,66 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn rejects_out_of_range_q() {
         let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn p2_is_exact_below_five_samples() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        p.push(30.0);
+        p.push(10.0);
+        p.push(20.0);
+        assert_eq!(p.estimate(), Some(20.0));
+        assert_eq!(p.observed_min(), Some(10.0));
+        assert_eq!(p.observed_max(), Some(30.0));
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn p2_paper_worked_example() {
+        // The 20 observations from Jain & Chlamtac's Table 1; their
+        // median estimate after all 20 is ≈ 4.44 (true sample median
+        // 4.445). Allow slack for the well-known arithmetic wobble.
+        let obs = [
+            0.02, 0.15, 0.74, 3.39, 0.83, 22.37, 10.15, 15.43, 38.62, 15.92, 34.60, 10.28, 1.47,
+            0.40, 0.05, 11.39, 0.27, 0.42, 0.09, 11.37,
+        ];
+        let mut p = P2Quantile::new(0.5);
+        for &x in &obs {
+            p.push(x);
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 4.44).abs() < 0.5, "got {est}");
+    }
+
+    #[test]
+    fn p2_converges_on_uniform_stream() {
+        // Deterministic LCG over [0, 100): p95 should land near 95.
+        let mut state: u64 = 42;
+        let mut p = P2Quantile::new(0.95);
+        for _ in 0..100_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0;
+            p.push(x);
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 95.0).abs() < 1.0, "p95 estimate {est}");
+    }
+
+    #[test]
+    fn p2_extremes_track_min_max() {
+        let mut p = P2Quantile::new(0.5);
+        for i in 0..100 {
+            p.push(f64::from(i));
+        }
+        assert_eq!(p.observed_min(), Some(0.0));
+        assert_eq!(p.observed_max(), Some(99.0));
+        assert_eq!(p.count(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn p2_rejects_bad_quantile() {
+        let _ = P2Quantile::new(-0.1);
     }
 }

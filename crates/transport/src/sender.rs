@@ -107,6 +107,7 @@ impl UdpSender {
             timeouts: 0,
             throughput: ThroughputSeries::new(1.0),
             delays_ms: Vec::new(),
+            delay_stats: verus_stats::StreamingStats::for_delays_ms(),
             duration_secs: self.config.duration.as_secs_f64(),
         };
 
@@ -185,7 +186,9 @@ impl UdpSender {
                             .saturating_since(SimTime::from_micros(ack.echo_send_time_us));
                         rto_retries = 0;
                         stats.acked += 1;
-                        stats.delays_ms.push(one_way.as_millis_f64());
+                        let one_way_ms = one_way.as_millis_f64();
+                        stats.delay_stats.record(one_way_ms);
+                        stats.delays_ms.push(one_way_ms);
                         stats.throughput.record(
                             now.saturating_since(start).as_secs_f64(),
                             u64::from(self.config.packet_bytes),

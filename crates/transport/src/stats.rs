@@ -1,7 +1,7 @@
 //! Transfer statistics for real-socket runs.
 
 use serde::{Deserialize, Serialize};
-use verus_stats::{Summary, ThroughputSeries};
+use verus_stats::{StreamingStats, Summary, ThroughputSeries};
 
 /// What a [`crate::UdpSender`] measured over one transfer.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -22,6 +22,10 @@ pub struct TransferStats {
     /// Per-packet one-way delays in ms (receiver timestamp − send
     /// timestamp; exact when both ends share a [`crate::WallClock`]).
     pub delays_ms: Vec<f64>,
+    /// Streaming delay statistics recorded alongside the raw samples
+    /// (O(1) mean/quantiles even for very long transfers).
+    #[serde(default = "StreamingStats::for_delays_ms")]
+    pub delay_stats: StreamingStats,
     /// Wall-clock duration of the transfer, seconds.
     pub duration_secs: f64,
 }
@@ -36,18 +40,26 @@ impl TransferStats {
         self.throughput.mean_bps(self.duration_secs) / 1e6
     }
 
-    /// Mean one-way delay, ms.
+    /// Mean one-way delay, ms. O(1) via the running mean; hand-built
+    /// stats that only filled `delays_ms` fall back to averaging those.
     #[must_use]
     pub fn mean_delay_ms(&self) -> f64 {
+        if self.delay_stats.count() > 0 {
+            return self.delay_stats.mean();
+        }
         if self.delays_ms.is_empty() {
             return 0.0;
         }
         self.delays_ms.iter().sum::<f64>() / self.delays_ms.len() as f64
     }
 
-    /// Delay distribution summary.
+    /// Delay distribution summary (exact over the raw samples when
+    /// present, streaming estimate otherwise).
     #[must_use]
     pub fn delay_summary(&self) -> Option<Summary> {
+        if self.delays_ms.is_empty() {
+            return self.delay_stats.summary();
+        }
         Summary::from_samples(&self.delays_ms)
     }
 }
@@ -66,6 +78,7 @@ mod tests {
             timeouts: 0,
             throughput: ThroughputSeries::new(1.0),
             delays_ms: vec![],
+            delay_stats: StreamingStats::for_delays_ms(),
             duration_secs: 0.0,
         };
         assert_eq!(s.mean_throughput_mbps(), 0.0);
@@ -85,6 +98,7 @@ mod tests {
             timeouts: 0,
             throughput: tp,
             delays_ms: vec![10.0, 30.0],
+            delay_stats: StreamingStats::from_samples(&[10.0, 30.0]),
             duration_secs: 2.0,
         };
         assert!((s.mean_throughput_mbps() - 1.0).abs() < 1e-9);

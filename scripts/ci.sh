@@ -17,3 +17,27 @@ cargo run -p verus-check
 
 cargo test --release -q -p verus-bench --test fault_injection \
   --features verus-netsim/strict-invariants,verus-core/strict-invariants,verus-transport/strict-invariants
+
+# Bench smoke: the tracked baseline must run and emit a well-formed
+# record. Written to a scratch path (the committed BENCH_0.json is a
+# reviewed artifact, updated deliberately, not on every CI run); jq
+# validates the JSON and that every figure is a positive number.
+bench_out="$(mktemp /tmp/bench_baseline.XXXXXX.json)"
+VERUS_BENCH_OUT="$bench_out" cargo run --release -q -p verus-bench --bin bench_baseline
+jq -e '
+  .schema == "verus-bench-baseline-v0"
+  and (.lookup_old_ns > 0) and (.lookup_new_ns > 0) and (.lookup_speedup > 0)
+  and (.epochs_per_sec > 0) and (.sim_events > 0) and (.events_per_sec > 0)
+' "$bench_out" > /dev/null || { echo "bench_baseline emitted a malformed record:"; cat "$bench_out"; exit 1; }
+rm -f "$bench_out"
+
+# Miri (undefined-behaviour interpreter) over the std-only crates. The
+# simulator crates forbid unsafe outright, so the std-only leaf crates
+# are the ones with anything for Miri to find; gated on the component
+# being installed because not every toolchain ships it.
+if cargo miri --version > /dev/null 2>&1; then
+  MIRIFLAGS="-Zmiri-disable-isolation" \
+    cargo miri test -q -p verus-check -p verus-spline -p verus-stats
+else
+  echo "miri not installed for this toolchain; skipping (rustup component add miri)"
+fi
