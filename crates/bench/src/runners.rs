@@ -13,6 +13,7 @@ use verus_core::{VerusCc, VerusConfig};
 use verus_netsim::queue::QueueConfig;
 use verus_netsim::{BottleneckConfig, FlowConfig, FlowReport, SimConfig, Simulation};
 use verus_nettypes::{CongestionControl, SimDuration, SimTime};
+use verus_trace::Recorder;
 
 /// A named protocol + parameterization, e.g. `("verus", R=2)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,6 +129,56 @@ impl CellExperiment {
             impairments: Default::default(),
         };
         Simulation::new(config).expect("valid config").run()
+    }
+
+    /// Like [`Self::run`], but records flow 0's protocol timeline into
+    /// `recorder` (`verus-trace`). After the run the recorder also
+    /// carries flow 0's packet-conservation ledger as summary counters.
+    /// Returns the reports together with the filled recorder, ready for
+    /// `verus_trace::to_jsonl(&rec, "netsim", "sim")`.
+    #[must_use]
+    pub fn run_traced(&self, spec: ProtocolSpec, recorder: Recorder) -> (Vec<FlowReport>, Recorder) {
+        let (handle, shared) = recorder.shared();
+        let flows = (0..self.flows)
+            .map(|i| {
+                let f = FlowConfig::new(spec.build());
+                if i == 0 {
+                    f.with_trace(handle.clone())
+                } else {
+                    f
+                }
+            })
+            .collect();
+        let config = SimConfig {
+            bottleneck: BottleneckConfig::Cell {
+                trace: self.trace.clone(),
+                base_rtt: self.base_rtt,
+                loss: self.loss,
+            },
+            queue: self.queue,
+            flows,
+            duration: self.duration,
+            seed: self.seed,
+            throughput_window: SimDuration::from_secs(1),
+            impairments: Default::default(),
+        };
+        let reports = Simulation::new(config).expect("valid config").run();
+        drop(handle);
+        // The simulation (and with it every handle clone) is gone, so
+        // the Arc is sole-owned again; take the recorder back out.
+        let mut recorder = match std::sync::Arc::try_unwrap(shared) {
+            Ok(m) => m.into_inner().expect("trace recorder lock"),
+            Err(shared) => shared
+                .lock()
+                .map(|mut r| std::mem::take(&mut *r))
+                .expect("trace recorder lock"),
+        };
+        if let Some(r0) = reports.first() {
+            for (name, value) in r0.trace_counters() {
+                recorder.set_counter(name, value);
+            }
+        }
+        (reports, recorder)
     }
 }
 

@@ -12,6 +12,7 @@
 //! | rule              | scope                                   | forbids |
 //! |-------------------|-----------------------------------------|---------|
 //! | `no-wallclock`    | deterministic crates (all targets)      | `Instant`, `SystemTime`, `thread::sleep` |
+//! | `no-ambient-clock`| `core`/`trace` (all targets)            | `Instant::now`, `SystemTime::now` (clocks are injected) |
 //! | `no-unwrap-in-lib`| `core`/`netsim` lib code, non-test      | `.unwrap()`, `.expect(`, `panic!` |
 //! | `no-print-in-lib` | lib code outside `bench`, non-test      | `println!`, `eprintln!`, `print!`, `eprint!` |
 //! | `nan-unsafe-cmp`  | everywhere                              | `partial_cmp(..).unwrap()/.expect()/.unwrap_or()` |
@@ -35,6 +36,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = [
 /// All rule names, for `--list-rules` and suppression validation.
 pub const RULES: &[&str] = &[
     "no-wallclock",
+    "no-ambient-clock",
     "no-unwrap-in-lib",
     "no-print-in-lib",
     "nan-unsafe-cmp",
@@ -439,6 +441,34 @@ pub fn scan_source(rel: &Path, text: &str) -> Vec<Diagnostic> {
                     format!(
                         "`{needle}` in deterministic crate `{}`; use SimTime/SimDuration \
                          (only `transport` may touch the wall clock)",
+                        info.crate_name.as_deref().unwrap_or("?")
+                    ),
+                );
+            }
+        }
+    }
+
+    // Clocks are *injected* in the algorithm and telemetry crates: the
+    // controller receives `now` from whichever substrate drives it, and
+    // `verus-trace` records carry caller-supplied timestamps. Reading an
+    // ambient clock there would fork sim-time and wall-time traces and
+    // break replay determinism. (`core` is also a deterministic crate,
+    // so a violation there additionally trips `no-wallclock`; `trace`
+    // is deliberately covered by this rule alone.)
+    let ambient_clock_scope = info
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| c == "core" || c == "trace");
+    if ambient_clock_scope {
+        for needle in ["Instant::now", "SystemTime::now"] {
+            for at in word_hits(&src.code, needle) {
+                push(
+                    &src,
+                    "no-ambient-clock",
+                    line_of(&src.code, at),
+                    format!(
+                        "`{needle}()` in `{}`: clocks are injected here — take the \
+                         timestamp as a parameter instead of reading the ambient clock",
                         info.crate_name.as_deref().unwrap_or("?")
                     ),
                 );

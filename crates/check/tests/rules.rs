@@ -24,9 +24,12 @@ fn wallclock_instant_fires_in_deterministic_crate() {
         "crates/core/src/foo.rs",
         "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n",
     );
-    assert_eq!(rules(&d), ["no-wallclock", "no-wallclock"]);
+    // `core` is both deterministic and clock-injected, so the
+    // `Instant::now()` line additionally trips `no-ambient-clock`.
+    assert_eq!(rules(&d), ["no-wallclock", "no-wallclock", "no-ambient-clock"]);
     assert_eq!(d[0].line, 1);
     assert_eq!(d[1].line, 2);
+    assert_eq!(d[2].line, 2);
 }
 
 #[test]
@@ -60,6 +63,71 @@ fn wallclock_ignores_identifier_substrings() {
         "struct InstantaneousRate; fn f(x: MySystemTimeish) {}\n",
     );
     assert!(d.is_empty(), "{d:?}");
+}
+
+// ------------------------------------------------------------ no-ambient-clock
+
+#[test]
+fn ambient_clock_fires_in_trace_crate() {
+    let d = scan(
+        "crates/trace/src/recorder.rs",
+        "fn stamp() -> u64 { nanos(std::time::Instant::now()) }\n",
+    );
+    assert_eq!(rules(&d), ["no-ambient-clock"]);
+    assert_eq!(d[0].line, 1);
+}
+
+#[test]
+fn ambient_clock_systemtime_fires_even_in_trace_tests() {
+    // Scope is the whole crate, tests included: a test stamping records
+    // from the wall clock would hide nondeterminism the rule exists to
+    // prevent.
+    let d = scan(
+        "crates/trace/tests/t.rs",
+        "fn f() { let t = SystemTime::now(); }\n",
+    );
+    assert_eq!(rules(&d), ["no-ambient-clock"]);
+}
+
+#[test]
+fn ambient_clock_allowed_in_transport_and_bench() {
+    assert!(scan(
+        "crates/transport/src/clock.rs",
+        "fn f() { let t = Instant::now(); }\n"
+    )
+    .is_empty());
+    assert!(scan(
+        "crates/bench/src/bin/fig.rs",
+        "fn f() { let t = std::time::Instant::now(); }\n"
+    )
+    .is_empty());
+}
+
+#[test]
+fn ambient_clock_needs_the_now_call_not_just_the_type() {
+    // The *type* appearing in trace (e.g. in a doc example's signature)
+    // is not an ambient read; only `::now` is.
+    let d = scan(
+        "crates/trace/src/sink.rs",
+        "fn f(t: std::time::Instant) -> Instant { t }\n",
+    );
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn ambient_clock_in_netsim_is_wallclock_territory() {
+    // netsim is deterministic but not clock-injected: `Instant::now()`
+    // there trips `no-wallclock` (twice: type + call site share the
+    // `Instant` token only once, so exactly one wallclock hit) and must
+    // not trip this rule.
+    let d = scan("crates/netsim/src/foo.rs", "fn f() { Instant::now(); }\n");
+    assert_eq!(rules(&d), ["no-wallclock"]);
+}
+
+#[test]
+fn ambient_clock_suppression_works() {
+    let text = "fn f() { std::time::Instant::now(); } // verus-check: allow(no-ambient-clock)\n";
+    assert!(scan("crates/trace/src/export.rs", text).is_empty());
 }
 
 // ------------------------------------------------------------ no-unwrap-in-lib

@@ -46,6 +46,9 @@ use serde::{Deserialize, Serialize};
 use verus_nettypes::{
     AckEvent, CongestionControl, LossEvent, LossKind, RttEstimator, SimDuration, SimTime,
 };
+use verus_trace::{
+    DeltaDecision, EpochRecord, PacketKind, PacketRecord, ProfileSnapshot, TraceHandle, TracePhase,
+};
 
 /// Protocol phase (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -96,6 +99,17 @@ pub struct VerusCc {
     /// Tally of every phase-machine edge taken (diagnostics; see
     /// [`invariants::PhaseAudit`]).
     phase_audit: invariants::PhaseAudit,
+    /// Telemetry sink (`verus-trace`): disabled by default, installed by
+    /// the harness via [`CongestionControl::attach_trace`]. Never
+    /// serialized — a deserialized controller comes back untraced —
+    /// and clones share the same sink.
+    #[serde(skip)]
+    trace: TraceHandle,
+    /// Profile re-interpolation count (the [`ProfileSnapshot`]
+    /// generation). Counted on every refit so generation numbers are
+    /// identical whether or not a trace sink is attached.
+    #[serde(skip)]
+    profile_generation: u64,
 }
 
 impl Default for VerusCc {
@@ -139,6 +153,8 @@ impl VerusCc {
             epochs: 0,
             consecutive_timeouts: 0,
             phase_audit: invariants::PhaseAudit::default(),
+            trace: TraceHandle::disabled(),
+            profile_generation: 0,
         }
     }
 
@@ -190,6 +206,62 @@ impl VerusCc {
         &self.phase_audit
     }
 
+    /// Profile re-interpolations performed so far (the snapshot
+    /// generation counter).
+    #[must_use]
+    pub fn profile_generation(&self) -> u64 {
+        self.profile_generation
+    }
+
+    /// Curve samples captured per [`ProfileSnapshot`] (32 intervals).
+    const PROFILE_SNAPSHOT_SAMPLES: usize = 33;
+
+    fn trace_phase(&self) -> TracePhase {
+        match self.phase {
+            Phase::SlowStart => TracePhase::SlowStart,
+            Phase::CongestionAvoidance => TracePhase::CongestionAvoidance,
+            Phase::Recovery => TracePhase::Recovery,
+        }
+    }
+
+    /// Remaining ratio-guard headroom `R − Dmax/Dmin` for the trace.
+    fn trace_headroom(&self) -> Option<f64> {
+        let dmax = self.delay_est.dmax_ms()?;
+        let dmin = self.delay_est.dmin_ms()?.max(1e-3);
+        Some(self.config.r - dmax / dmin)
+    }
+
+    /// Emits one [`EpochRecord`] (no-op when no sink is attached).
+    fn trace_epoch(&mut self, now: SimTime, delay_ms: Option<f64>, decision: DeltaDecision) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace.epoch(&EpochRecord {
+            t_ns: now.as_nanos(),
+            epoch: self.epochs,
+            phase: self.trace_phase(),
+            window: self.w_cur,
+            dest_ms: self.dest_ms(),
+            delay_ms,
+            decision,
+            headroom: self.trace_headroom(),
+        });
+    }
+
+    /// Emits a [`ProfileSnapshot`] of the current curve. Curve sampling
+    /// is the one expensive emission, so it is fully gated on a sink
+    /// being attached (refits happen ~once per second, not per packet).
+    fn trace_profile_snapshot(&mut self, now: SimTime) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.trace.profile(&ProfileSnapshot {
+            t_ns: now.as_nanos(),
+            generation: self.profile_generation,
+            samples: self.profiler.curve_samples(Self::PROFILE_SNAPSHOT_SAMPLES),
+        });
+    }
+
     /// Transitions slow start → congestion avoidance: fit the initial
     /// profile and seed `Dest` from the current smoothed maximum delay.
     /// Single phase-assignment choke point: every transition is checked
@@ -216,6 +288,8 @@ impl VerusCc {
             self.profiler.add_sample(now, self.w_cur.max(2.0), base * 2.0);
         }
         self.profiler.refit(now);
+        self.profile_generation += 1;
+        self.trace_profile_snapshot(now);
         let dest0 = self
             .delay_est
             .dmax_ms()
@@ -234,8 +308,11 @@ impl VerusCc {
     }
 
     /// Runs one Eq. 4 + Eq. 5 epoch step (congestion avoidance only).
-    fn epoch_step(&mut self) {
+    /// `now` is only read by the trace hooks; the step itself is
+    /// clocked by the tick cadence, not the timestamp.
+    fn epoch_step(&mut self, now: SimTime) {
         let Some(ref mut west) = self.window_est else {
+            self.trace_epoch(now, None, DeltaDecision::None);
             return;
         };
         let closed = self.delay_est.end_epoch();
@@ -244,10 +321,15 @@ impl VerusCc {
             // Silent epoch: ΔD = 0 with the previous Dmax (see module docs).
             None => match self.delay_est.dmax_ms() {
                 Some(d) => (d, 0.0, None),
-                None => return, // no delay information at all yet
+                None => {
+                    // No delay information at all yet.
+                    self.trace_epoch(now, None, DeltaDecision::None);
+                    return;
+                }
             },
         };
         let Some(dmin) = self.delay_est.dmin_ms() else {
+            self.trace_epoch(now, Some(dmax), DeltaDecision::None);
             return;
         };
         let ratio_tripped = dmax / dmin.max(1e-3) > self.config.r;
@@ -320,6 +402,15 @@ impl VerusCc {
             self.config.min_window,
             self.config.max_window,
         );
+        // Mirror of WindowEstimator::step's branch order (Eq. 4).
+        let decision = if ratio_tripped {
+            DeltaDecision::RatioDown
+        } else if delta > 0.0 {
+            DeltaDecision::TrendDown
+        } else {
+            DeltaDecision::Up
+        };
+        self.trace_epoch(now, Some(dmax), decision);
     }
 }
 
@@ -345,14 +436,34 @@ impl CongestionControl for VerusCc {
         }
     }
 
-    fn on_packet_sent(&mut self, _now: SimTime, seq: u64, _bytes: u64) {
+    fn on_packet_sent(&mut self, now: SimTime, seq: u64, bytes: u64) {
         self.highest_sent = self.highest_sent.max(seq);
         if self.phase == Phase::CongestionAvoidance {
             self.credit = (self.credit - 1.0).max(0.0);
         }
+        if self.trace.is_enabled() {
+            self.trace.packet(&PacketRecord {
+                t_ns: now.as_nanos(),
+                kind: PacketKind::Send,
+                seq,
+                bytes,
+                window: self.w_cur,
+                rtt_ms: None,
+            });
+        }
     }
 
     fn on_ack(&mut self, now: SimTime, ev: &AckEvent) {
+        if self.trace.is_enabled() {
+            self.trace.packet(&PacketRecord {
+                t_ns: now.as_nanos(),
+                kind: PacketKind::Ack,
+                seq: ev.seq,
+                bytes: ev.bytes,
+                window: ev.send_window,
+                rtt_ms: Some(ev.rtt.as_millis_f64()),
+            });
+        }
         // Any ACK proves the channel is alive again.
         self.consecutive_timeouts = 0;
         self.rtt.on_sample(ev.rtt);
@@ -418,6 +529,21 @@ impl CongestionControl for VerusCc {
     }
 
     fn on_loss(&mut self, now: SimTime, ev: &LossEvent) {
+        // Recorded at entry so the trace mirrors what the transport
+        // declared, including stale losses the handler ignores below.
+        if self.trace.is_enabled() {
+            self.trace.packet(&PacketRecord {
+                t_ns: now.as_nanos(),
+                kind: match ev.kind {
+                    LossKind::FastRetransmit => PacketKind::Loss,
+                    LossKind::Timeout => PacketKind::Timeout,
+                },
+                seq: ev.seq,
+                bytes: 0,
+                window: ev.send_window,
+                rtt_ms: None,
+            });
+        }
         // Losses mean contention, and contention inflates delay without
         // the base RTT changing — suppress the path-change detector.
         self.epochs_pinned = 0;
@@ -491,11 +617,12 @@ impl CongestionControl for VerusCc {
     fn on_tick(&mut self, now: SimTime) {
         self.epochs += 1;
         match self.phase {
-            Phase::CongestionAvoidance => self.epoch_step(),
+            Phase::CongestionAvoidance => self.epoch_step(now),
             // Slow start and recovery are ACK-clocked; epochs only keep
             // the delay estimator's window aligned.
             Phase::SlowStart | Phase::Recovery => {
                 let _ = self.delay_est.end_epoch();
+                self.trace_epoch(now, self.delay_est.dmax_ms(), DeltaDecision::None);
             }
         }
         if self.config.profile_updates
@@ -504,8 +631,14 @@ impl CongestionControl for VerusCc {
             && self.window_est.is_some()
         {
             self.profiler.refit(now);
+            self.profile_generation += 1;
             self.next_refit = now + self.config.update_interval;
+            self.trace_profile_snapshot(now);
         }
+    }
+
+    fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     fn window(&self) -> f64 {

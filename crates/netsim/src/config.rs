@@ -112,6 +112,15 @@ impl FlowConfig {
         self.extra_ack_delay = rtt - rtt / 2;
         self
     }
+
+    /// Attaches a `verus-trace` handle to this flow's controller.
+    /// Records carry *simulated* time; controllers that don't support
+    /// tracing ignore the handle (the trait default).
+    #[must_use]
+    pub fn with_trace(mut self, trace: verus_nettypes::TraceHandle) -> Self {
+        self.cc.attach_trace(trace);
+        self
+    }
 }
 
 /// The whole simulation.

@@ -115,6 +115,28 @@ impl FlowReport {
                 + self.residual_in_transit
                 + self.delivered
     }
+
+    /// The packet-conservation ledger as named counters for a
+    /// `verus-trace` summary record, so every exported trace carries the
+    /// full sent = delivered + accounted-losses breakdown alongside the
+    /// protocol timeline.
+    #[must_use]
+    pub fn trace_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("sent", self.sent),
+            ("delivered", self.delivered),
+            ("fast_losses", self.fast_losses),
+            ("timeouts", self.timeouts),
+            ("radio_lost", self.radio_lost),
+            ("queue_drops", self.queue_drops),
+            ("impaired_lost", self.impaired_lost),
+            ("corrupt_dropped", self.corrupt_dropped),
+            ("dup_injected", self.dup_injected),
+            ("residual_in_queue", self.residual_in_queue),
+            ("residual_in_transit", self.residual_in_transit),
+            ("ledger_balances", u64::from(self.ledger_balances())),
+        ]
+    }
 }
 
 #[cfg(test)]

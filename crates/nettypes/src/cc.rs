@@ -22,6 +22,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+pub use verus_trace::TraceHandle;
 
 /// Information delivered to the controller for every (first-time) ACK.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -94,6 +95,14 @@ pub trait CongestionControl: Send {
 
     /// Clock tick (only called when [`Self::tick_interval`] is `Some`).
     fn on_tick(&mut self, _now: SimTime) {}
+
+    /// Installs a trace handle for protocol introspection (`verus-trace`).
+    ///
+    /// Controllers that support tracing store the handle and emit
+    /// epoch/packet/profile records through it; the default ignores it,
+    /// so untraced protocols need no changes. Harnesses call this once,
+    /// before the first callback.
+    fn attach_trace(&mut self, _trace: TraceHandle) {}
 
     /// Current window/budget in packets, for logging and plots.
     fn window(&self) -> f64;

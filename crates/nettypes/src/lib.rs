@@ -25,7 +25,7 @@ pub mod packet;
 pub mod rtt;
 pub mod time;
 
-pub use cc::{AckEvent, CongestionControl, FixedWindow, LossEvent, LossKind};
+pub use cc::{AckEvent, CongestionControl, FixedWindow, LossEvent, LossKind, TraceHandle};
 pub use packet::{AckPacket, DataPacket, WireDecodeError};
 pub use rtt::RttEstimator;
 pub use time::{SimDuration, SimTime};

@@ -400,6 +400,20 @@ impl EmulatorHandle {
         self.shared.watchdog_fired.load(Ordering::Relaxed)
     }
 
+    /// The emulator's packet counters as named counters for a
+    /// `verus-trace` summary record — the transport-side analogue of the
+    /// simulator's conservation ledger (received = forwarded + dropped +
+    /// impaired once the pipeline drains).
+    #[must_use]
+    pub fn trace_counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("emulator_received", self.received()),
+            ("emulator_forwarded", self.forwarded()),
+            ("emulator_dropped", self.dropped()),
+            ("emulator_impaired", self.impaired()),
+        ]
+    }
+
     /// Whether the emulator thread has exited (watchdog or stop).
     #[must_use]
     pub fn is_finished(&self) -> bool {

@@ -118,12 +118,20 @@ impl UdpSender {
                 break;
             }
 
-            // 1. Epoch ticks.
+            // 1. Epoch ticks, with catch-up: the ε clock is wall time,
+            //    so a delayed loop iteration (scheduling stall, CPU
+            //    contention) owes every epoch it slept through — the
+            //    controller sees them as silent epochs, exactly as if
+            //    the loop had kept pace. Without this the epoch count
+            //    silently depends on scheduler load, which breaks the
+            //    cross-substrate trace parity guarantee.
             if let (Some(t), Some(period)) = (next_tick, tick) {
-                if now >= t {
+                let mut due = t;
+                while now >= due {
                     cc.on_tick(now);
-                    next_tick = Some(t + period);
+                    due = due + period;
                 }
+                next_tick = Some(due);
             }
 
             // 2. Gap timers (armed below on reordered ACKs).

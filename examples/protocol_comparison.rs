@@ -8,9 +8,10 @@
 //! `scenario` is one of: campus, pedestrian, city, driving, highway,
 //! mall, waterfront (default: driving).
 
-use verus_bench::{print_table, CellExperiment, ProtocolSpec};
+use verus_bench::{print_table, results_dir, CellExperiment, ProtocolSpec};
 use verus_cellular::{OperatorModel, Scenario};
 use verus_nettypes::SimDuration;
+use verus_trace::{to_jsonl, Recorder};
 
 fn scenario_from_arg(arg: Option<&str>) -> Scenario {
     match arg.unwrap_or("driving") {
@@ -52,8 +53,20 @@ fn main() {
         ProtocolSpec::baseline("vegas"),
     ];
     let mut rows = Vec::new();
-    for spec in specs {
-        let reports = exp.run(spec);
+    let mut trace_path = None;
+    for (i, spec) in specs.into_iter().enumerate() {
+        // The flagship protocol (Verus, R = 2) runs with a verus-trace
+        // recorder on flow 0, so the comparison doubles as a worked
+        // example of capturing a protocol trace for trace_report.
+        let reports = if i == 0 {
+            let (reports, rec) = exp.run_traced(spec, Recorder::new());
+            let path = results_dir().join("protocol_comparison_trace.jsonl");
+            std::fs::write(&path, to_jsonl(&rec, "netsim", "sim")).expect("write trace");
+            trace_path = Some(path);
+            reports
+        } else {
+            exp.run(spec)
+        };
         let n = reports.len() as f64;
         let mbps = reports.iter().map(|r| r.mean_throughput_mbps()).sum::<f64>() / n;
         let delay = reports.iter().map(|r| r.mean_delay_ms()).sum::<f64>() / n;
@@ -85,4 +98,12 @@ fn main() {
     println!("expected shape (paper Figures 8–10): Verus within ~10–20% of Cubic's");
     println!("throughput at roughly an order of magnitude lower delay; R = 6 trades");
     println!("delay back for throughput; Sprout lowest delay of all.");
+    if let Some(path) = trace_path {
+        println!();
+        println!("protocol trace for verus (R=2), flow 0: {}", path.display());
+        println!(
+            "  cargo run -p verus-bench --bin trace_report -- report {}",
+            path.display()
+        );
+    }
 }

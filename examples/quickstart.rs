@@ -6,15 +6,17 @@
 //! ```
 //!
 //! This is the five-minute tour: generate a 3G trace with the cellular
-//! substrate, drive one Verus flow over it in the simulator, and print
-//! the throughput/delay outcome plus a slice of the learned delay
-//! profile.
+//! substrate, drive one Verus flow over it in the simulator — with a
+//! `verus-trace` recorder attached so every ε-epoch decision is kept —
+//! and print the throughput/delay outcome, a slice of the learned delay
+//! profile, and where the protocol trace landed.
 
 use verus_cellular::{OperatorModel, Scenario};
 use verus_core::VerusCc;
 use verus_netsim::queue::QueueConfig;
 use verus_netsim::{BottleneckConfig, FlowConfig, SimConfig, Simulation};
 use verus_nettypes::SimDuration;
+use verus_trace::{to_jsonl, Recorder};
 
 fn main() {
     // 1. A cellular channel: Etisalat-3G-like cell, pedestrian mobility.
@@ -28,7 +30,9 @@ fn main() {
         trace.duration().as_secs_f64()
     );
 
-    // 2. One Verus flow (default config: R = 2, ε = 5 ms) for 30 s.
+    // 2. One Verus flow (default config: R = 2, ε = 5 ms) for 30 s,
+    //    with a trace recorder attached to the controller.
+    let (trace_handle, recorder) = Recorder::new().shared();
     let config = SimConfig {
         bottleneck: BottleneckConfig::Cell {
             trace,
@@ -36,7 +40,7 @@ fn main() {
             loss: 0.0,
         },
         queue: QueueConfig::deep_droptail(),
-        flows: vec![FlowConfig::new(Box::new(VerusCc::default()))],
+        flows: vec![FlowConfig::new(Box::new(VerusCc::default())).with_trace(trace_handle)],
         duration: SimDuration::from_secs(30),
         seed: 1,
         throughput_window: SimDuration::from_secs(1),
@@ -73,6 +77,23 @@ fn main() {
     for (w, d) in &profile_head {
         println!("  window {w:>5.0} packets → expected delay {d:>6.1} ms");
     }
+    // 5. The protocol trace: every ε-epoch decision, packet event, and
+    //    profile refit the controller made, ready for trace_report.
+    let rec = recorder.lock().expect("recorder unpoisoned");
+    let trace_path = verus_bench::results_dir().join("quickstart_trace.jsonl");
+    std::fs::write(&trace_path, to_jsonl(&rec, "netsim", "sim")).expect("write trace");
+    println!(
+        "protocol trace: {} ({} epochs, {} packet events, {} profile refits)",
+        trace_path.display(),
+        rec.epochs().len(),
+        rec.packets().len(),
+        rec.profiles().len()
+    );
+    println!("replay it into timelines and tables with:");
+    println!(
+        "  cargo run -p verus-bench --bin trace_report -- report {}",
+        trace_path.display()
+    );
     println!();
     println!("next steps: examples/protocol_comparison.rs, examples/live_emulation.rs,");
     println!("and the per-figure binaries in crates/bench/src/bin/.");

@@ -19,17 +19,46 @@ cargo test --release -q -p verus-bench --test fault_injection \
   --features verus-netsim/strict-invariants,verus-core/strict-invariants,verus-transport/strict-invariants
 
 # Bench smoke: the tracked baseline must run and emit a well-formed
-# record. Written to a scratch path (the committed BENCH_0.json is a
+# record. Written to a scratch path (the committed BENCH_1.json is a
 # reviewed artifact, updated deliberately, not on every CI run); jq
-# validates the JSON and that every figure is a positive number.
+# validates the JSON and that every figure is a positive number. The
+# trace-overhead ceiling here is looser than the reviewed artifact's
+# <5% acceptance figure because a loaded single-CPU CI box cannot
+# measure a few percent reliably; a double-digit reading still catches
+# an accidentally quadratic hook.
 bench_out="$(mktemp /tmp/bench_baseline.XXXXXX.json)"
 VERUS_BENCH_OUT="$bench_out" cargo run --release -q -p verus-bench --bin bench_baseline
 jq -e '
-  .schema == "verus-bench-baseline-v0"
+  .schema == "verus-bench-baseline-v1"
   and (.lookup_old_ns > 0) and (.lookup_new_ns > 0) and (.lookup_speedup > 0)
   and (.epochs_per_sec > 0) and (.sim_events > 0) and (.events_per_sec > 0)
+  and (.trace_off_events_per_sec > 0) and (.trace_on_events_per_sec > 0)
+  and (.trace_records > 0) and (.trace_overhead_pct < 10)
 ' "$bench_out" > /dev/null || { echo "bench_baseline emitted a malformed record:"; cat "$bench_out"; exit 1; }
 rm -f "$bench_out"
+
+# Trace smoke: capture a short traced simulation, validate the JSONL
+# schema line by line, replay it through trace_report, and fail if the
+# recorder dropped anything (a nonzero drop counter means the bounded
+# buffers silently truncated the run).
+trace_out="$(mktemp -d /tmp/trace_smoke.XXXXXX)"
+cargo run --release -q -p verus-bench --bin trace_report -- capture "$trace_out/smoke.jsonl"
+jq -es '
+  (.[0].type == "header" and .[0].schema == "verus-trace-v0")
+  and ([.[].type] | unique | sort == ["epoch", "header", "packet", "profile", "summary"])
+  and ([.[] | select(.type == "epoch")] | length > 0)
+  and ([.[] | select(.type == "packet")] | length > 0)
+  and (.[-1].type == "summary")
+  and (.[-1].dropped_epochs == 0)
+  and (.[-1].dropped_packets == 0)
+  and (.[-1].dropped_profiles == 0)
+' "$trace_out/smoke.jsonl" > /dev/null || { echo "trace capture emitted a malformed or lossy trace"; exit 1; }
+VERUS_RESULTS="$trace_out" cargo run --release -q -p verus-bench --bin trace_report -- report "$trace_out/smoke.jsonl"
+test -s "$trace_out/smoke_timeline.csv" || { echo "trace_report produced no timeline"; exit 1; }
+test -s "$trace_out/smoke_profile_evolution.csv" || { echo "trace_report produced no profile evolution"; exit 1; }
+jq -e '.schema == "verus-trace-report-v0"' "$trace_out/smoke_summary.json" > /dev/null \
+  || { echo "trace_report summary malformed"; exit 1; }
+rm -rf "$trace_out"
 
 # Miri (undefined-behaviour interpreter) over the std-only crates. The
 # simulator crates forbid unsafe outright, so the std-only leaf crates
