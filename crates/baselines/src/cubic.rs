@@ -96,7 +96,7 @@ impl CongestionControl for Cubic {
     }
 
     fn quota(&mut self, _now: SimTime, in_flight: usize) -> usize {
-        (self.cwnd.floor() as usize).saturating_sub(in_flight)
+        (self.cwnd as usize).saturating_sub(in_flight)
     }
 
     fn on_packet_sent(&mut self, _now: SimTime, seq: u64, _bytes: u64) {

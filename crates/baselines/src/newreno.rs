@@ -78,7 +78,7 @@ impl CongestionControl for NewReno {
     }
 
     fn quota(&mut self, _now: SimTime, in_flight: usize) -> usize {
-        (self.cwnd.floor() as usize).saturating_sub(in_flight)
+        (self.cwnd as usize).saturating_sub(in_flight)
     }
 
     fn on_packet_sent(&mut self, _now: SimTime, seq: u64, _bytes: u64) {

@@ -296,7 +296,7 @@ impl CongestionControl for Sprout {
         // tick-paced and cannot exceed max_pps regardless of RTT — this
         // per-tick cap *is* the 18 Mbit/s implementation cap the paper
         // remarks on (§7, Figure 11a).
-        let window_quota = (self.cwnd.floor() as usize).saturating_sub(in_flight);
+        let window_quota = (self.cwnd as usize).saturating_sub(in_flight);
         let tick_cap = (self.config.max_pps * self.config.tick.as_secs_f64()).ceil() as usize;
         let pace_quota = tick_cap.saturating_sub(self.sent_this_tick as usize);
         window_quota.min(pace_quota)

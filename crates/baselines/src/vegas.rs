@@ -113,7 +113,7 @@ impl CongestionControl for Vegas {
     }
 
     fn quota(&mut self, _now: SimTime, in_flight: usize) -> usize {
-        (self.cwnd.floor() as usize).saturating_sub(in_flight)
+        (self.cwnd as usize).saturating_sub(in_flight)
     }
 
     fn on_packet_sent(&mut self, _now: SimTime, _seq: u64, _bytes: u64) {}

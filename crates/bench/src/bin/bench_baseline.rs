@@ -20,6 +20,13 @@
 //!
 //! Output: `BENCH_1.json` in the working directory (override the path
 //! with `VERUS_BENCH_OUT`). CI runs this and validates the JSON.
+//!
+//! Methodology (schema v2): every reported figure is the **median of
+//! K ≥ 5 independent repetitions**, and the iteration count behind each
+//! timing is recorded next to it. BENCH_0 → BENCH_1 swung 31.8 M →
+//! 17.6 M epochs/s on an unchanged code path because each figure was a
+//! single pass at the mercy of host noise; medians with recorded
+//! sample sizes make cross-PR comparisons meaningful.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -31,12 +38,19 @@ use verus_netsim::{BottleneckConfig, FlowConfig, SimConfig, Simulation};
 use verus_nettypes::{AckEvent, CongestionControl, SimDuration, SimTime, TraceHandle};
 use verus_trace::Recorder;
 
+/// Repetitions per reported figure (median taken across them).
+const REPS: usize = 5;
+
 struct Baseline {
     lookup_old_ns: f64,
+    lookup_old_iters: u64,
     lookup_new_ns: f64,
+    lookup_new_iters: u64,
     lookup_speedup: f64,
     epochs_per_sec: f64,
+    epochs_iters: u64,
     sim_events: u64,
+    sim_rounds: u64,
     sim_wall_secs: f64,
     events_per_sec: f64,
     trace_off_events_per_sec: f64,
@@ -51,23 +65,33 @@ impl Baseline {
     /// real JSON for jq/CI consumers.
     fn to_json(&self) -> String {
         format!(
-            "{{\n  \"schema\": \"verus-bench-baseline-v1\",\n  \
+            "{{\n  \"schema\": \"verus-bench-baseline-v2\",\n  \
+             \"reps\": {},\n  \
              \"lookup_old_ns\": {:.1},\n  \
+             \"lookup_old_iters\": {},\n  \
              \"lookup_new_ns\": {:.1},\n  \
+             \"lookup_new_iters\": {},\n  \
              \"lookup_speedup\": {:.2},\n  \
              \"epochs_per_sec\": {:.0},\n  \
+             \"epochs_iters\": {},\n  \
              \"sim_events\": {},\n  \
+             \"sim_rounds\": {},\n  \
              \"sim_wall_secs\": {:.3},\n  \
              \"events_per_sec\": {:.0},\n  \
              \"trace_off_events_per_sec\": {:.0},\n  \
              \"trace_on_events_per_sec\": {:.0},\n  \
              \"trace_overhead_pct\": {:.2},\n  \
              \"trace_records\": {}\n}}",
+            REPS,
             self.lookup_old_ns,
+            self.lookup_old_iters,
             self.lookup_new_ns,
+            self.lookup_new_iters,
             self.lookup_speedup,
             self.epochs_per_sec,
+            self.epochs_iters,
             self.sim_events,
+            self.sim_rounds,
             self.sim_wall_secs,
             self.events_per_sec,
             self.trace_off_events_per_sec,
@@ -76,6 +100,24 @@ impl Baseline {
             self.trace_records,
         )
     }
+}
+
+/// Median of a sample set (the v2 estimator for every figure).
+fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    samples.sort_by(f64::total_cmp);
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        0.5 * (samples[mid - 1] + samples[mid])
+    }
+}
+
+/// Runs `measure` REPS times and reports the median figure.
+fn median_of_reps(mut measure: impl FnMut() -> f64) -> f64 {
+    let mut samples: Vec<f64> = (0..REPS).map(|_| measure()).collect();
+    median(&mut samples)
 }
 
 fn profile_with_points(n: u32) -> DelayProfiler {
@@ -136,25 +178,34 @@ fn time_ns(iters: u64, mut f: impl FnMut()) -> f64 {
     t0.elapsed().as_nanos() as f64 / iters as f64
 }
 
+const LOOKUP_NEW_ITERS: u64 = 200_000;
+const LOOKUP_OLD_ITERS: u64 = 10_000;
+
 fn bench_lookup() -> (f64, f64) {
     let p = profile_with_points(200);
     // Targets spread across the profile so both paths traverse different
     // crossing cells (not one cache-warm spot).
     let dests = [45.0, 90.0, 140.0, 250.0, 380.0, 430.0];
-    let mut k = 0usize;
-    let new_ns = time_ns(200_000, || {
-        let d = dests[k % dests.len()];
-        k += 1;
-        black_box(p.lookup_window(black_box(d), 2.0, 20_000.0));
+    let new_ns = median_of_reps(|| {
+        let mut k = 0usize;
+        time_ns(LOOKUP_NEW_ITERS, || {
+            let d = dests[k % dests.len()];
+            k += 1;
+            black_box(p.lookup_window(black_box(d), 2.0, 20_000.0));
+        })
     });
-    let mut k = 0usize;
-    let old_ns = time_ns(10_000, || {
-        let d = dests[k % dests.len()];
-        k += 1;
-        black_box(reference_lookup(&p, black_box(d), 2.0, 20_000.0));
+    let old_ns = median_of_reps(|| {
+        let mut k = 0usize;
+        time_ns(LOOKUP_OLD_ITERS, || {
+            let d = dests[k % dests.len()];
+            k += 1;
+            black_box(reference_lookup(&p, black_box(d), 2.0, 20_000.0));
+        })
     });
     (old_ns, new_ns)
 }
+
+const EPOCH_ITERS: u64 = 200_000;
 
 fn bench_epochs() -> f64 {
     let mut cc = VerusCc::default();
@@ -176,12 +227,17 @@ fn bench_epochs() -> f64 {
             cc.on_tick(now);
         }
     }
-    const EPOCHS: u64 = 200_000;
-    let t0 = Instant::now();
-    for i in 0..EPOCHS {
-        cc.on_tick(now + SimDuration::from_millis(5 * (i + 1)));
-    }
-    EPOCHS as f64 / t0.elapsed().as_secs_f64()
+    // Median over REPS timed passes on the same warmed controller; the
+    // clock keeps advancing across passes so every tick is a real epoch.
+    let mut epoch = 0u64;
+    median_of_reps(|| {
+        let t0 = Instant::now();
+        for _ in 0..EPOCH_ITERS {
+            epoch += 1;
+            cc.on_tick(now + SimDuration::from_millis(5 * epoch));
+        }
+        EPOCH_ITERS as f64 / t0.elapsed().as_secs_f64()
+    })
 }
 
 fn bench_simulator(trace_handle: TraceHandle) -> (u64, f64) {
@@ -228,12 +284,12 @@ fn main() {
     // attached to the flow. The full run finishes in ~100 ms of wall
     // time, so a single pass is dominated by first-touch page faults and
     // scheduler noise; each configuration gets one warmup pass, then the
-    // two are *interleaved* for five rounds (so machine-load drift hits
-    // both equally) and each takes its best pass. Recorder capacities
-    // are sized for the 600 simulated seconds (120k ε-epochs) so no
-    // record is dropped and the measured cost includes every push; the
-    // recorder is cleared (capacity kept) between passes so each pass
-    // writes into warm, already-faulted buffers.
+    // two are *interleaved* for SIM_ROUNDS rounds (so machine-load
+    // drift hits both equally) and each figure is the median pass.
+    // Recorder capacities are sized for the 600 simulated seconds (120k
+    // ε-epochs) so no record is dropped and the measured cost includes
+    // every push; the recorder is cleared (capacity kept) between
+    // passes so each pass writes into warm, already-faulted buffers.
     const SIM_ROUNDS: usize = 7;
     println!("simulator (600 simulated seconds, verus over 3G trace)…");
     let (handle, shared) = Recorder::with_capacity(131_072, 524_288, 2_048).shared();
@@ -242,20 +298,22 @@ fn main() {
     let _ = bench_simulator(handle.clone()); // warmup + page fault-in
     let mut sim_events = 0u64;
     let mut traced_events = 0u64;
-    let mut sim_wall_secs = f64::INFINITY;
-    let mut traced_wall_secs = f64::INFINITY;
+    let mut off_walls = Vec::with_capacity(SIM_ROUNDS);
+    let mut on_walls = Vec::with_capacity(SIM_ROUNDS);
     let mut pair_ratios = Vec::with_capacity(SIM_ROUNDS);
     for _ in 0..SIM_ROUNDS {
         let (e, w_off) = bench_simulator(TraceHandle::disabled());
         sim_events = e;
-        sim_wall_secs = sim_wall_secs.min(w_off);
+        off_walls.push(w_off);
         clear();
         let (e, w_on) = bench_simulator(handle.clone());
         traced_events = e;
-        traced_wall_secs = traced_wall_secs.min(w_on);
+        on_walls.push(w_on);
         pair_ratios.push(w_on / w_off);
     }
     drop(handle);
+    let sim_wall_secs = median(&mut off_walls);
+    let traced_wall_secs = median(&mut on_walls);
     let events_per_sec = sim_events as f64 / sim_wall_secs;
     println!("  {sim_events} events in {sim_wall_secs:.2} s → {events_per_sec:.0} events/sec");
     let trace_on_events_per_sec = traced_events as f64 / traced_wall_secs;
@@ -267,11 +325,10 @@ fn main() {
     assert_eq!(traced_events, sim_events, "tracing perturbed the simulation");
     assert_eq!(trace_dropped, 0, "recorder under-provisioned: dropped records");
     // Overhead from the *median* adjacent off/on pair ratio, not from
-    // the two best-of walls: each pair runs back-to-back, so host-speed
+    // the two median walls: each pair runs back-to-back, so host-speed
     // drift across the rounds (VM frequency scaling, noisy neighbours)
     // cancels instead of landing on whichever side caught a fast phase.
-    pair_ratios.sort_by(f64::total_cmp);
-    let trace_overhead_pct = (pair_ratios[SIM_ROUNDS / 2] - 1.0) * 100.0;
+    let trace_overhead_pct = (median(&mut pair_ratios) - 1.0) * 100.0;
     println!(
         "  {trace_on_events_per_sec:.0} events/sec traced ({trace_records} records) → \
          {trace_overhead_pct:+.2}% overhead"
@@ -292,10 +349,14 @@ fn main() {
     );
     let record = Baseline {
         lookup_old_ns,
+        lookup_old_iters: LOOKUP_OLD_ITERS,
         lookup_new_ns,
+        lookup_new_iters: LOOKUP_NEW_ITERS,
         lookup_speedup,
         epochs_per_sec,
+        epochs_iters: EPOCH_ITERS,
         sim_events,
+        sim_rounds: SIM_ROUNDS as u64,
         sim_wall_secs,
         events_per_sec,
         trace_off_events_per_sec: events_per_sec,

@@ -100,7 +100,7 @@ impl InvLut {
             return 0;
         }
         let step = (self.hi - self.lo) / (self.ys.len() - 1) as f64;
-        let i = ((w - self.lo) / step).floor() as usize + 1;
+        let i = ((w - self.lo) / step) as usize + 1;
         i.min(self.ys.len())
     }
 

@@ -422,7 +422,7 @@ impl CongestionControl for VerusCc {
     fn quota(&mut self, _now: SimTime, in_flight: usize) -> usize {
         match self.phase {
             Phase::SlowStart | Phase::Recovery => {
-                (self.w_cur.floor() as usize).saturating_sub(in_flight)
+                (self.w_cur as usize).saturating_sub(in_flight)
             }
             Phase::CongestionAvoidance => {
                 // Epoch-quota driven; the max_window cap bounds runaway

@@ -34,11 +34,13 @@ pub mod config;
 pub mod impairment;
 pub mod invariants;
 pub mod metrics;
+pub mod outstanding;
 pub mod queue;
 pub mod sim;
+pub mod wheel;
 
 pub use bottleneck::{BottleneckConfig, FixedParams};
 pub use config::{FlowConfig, LossDetection, SimConfig};
 pub use impairment::{Blackout, ImpairmentConfig, Impairments, LossModel};
 pub use metrics::FlowReport;
-pub use sim::Simulation;
+pub use sim::{SchedulerKind, Simulation};

@@ -1,9 +1,18 @@
 //! The event loop.
 //!
 //! One [`Simulation`] holds the flows, the bottleneck (fixed or
-//! trace-driven) and its queue, and a time-ordered event heap. Events are
-//! processed strictly in `(time, insertion order)` order, so runs are
-//! deterministic per seed.
+//! trace-driven) and its queue, and a time-ordered event scheduler.
+//! Events are processed strictly in `(time, insertion order)` order, so
+//! runs are deterministic per seed.
+//!
+//! Two schedulers implement that order (see [`SchedulerKind`]): the
+//! default hierarchical timing wheel ([`crate::wheel`], O(1) per event)
+//! and the original binary heap (O(log n) per event), kept as the
+//! equivalence oracle behind [`Simulation::with_scheduler`] and the
+//! `heap-sched` feature. Wheel runs additionally batch each cell TTI's
+//! deliveries (and their ACKs) into single events; the batch boundaries
+//! are chosen so the dispatch order — and therefore every report and
+//! trace byte — is identical to the per-packet oracle.
 //!
 //! Transport model (identical for every protocol; only the congestion
 //! controller differs):
@@ -25,16 +34,19 @@ use crate::bottleneck::{BottleneckConfig, FixedParams};
 use crate::config::{LossDetection, SimConfig};
 use crate::impairment::{Impairments, IngressFate};
 use crate::metrics::FlowReport;
+use crate::outstanding::OutstandingTable;
 use crate::queue::{EnqueueResult, Queue, QueuedPacket};
+use crate::wheel::TimingWheel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
+use std::collections::BinaryHeap;
 use verus_cellular::trace::Opportunity;
 use verus_nettypes::{
     AckEvent, CongestionControl, LossEvent, LossKind, RttEstimator, SimDuration, SimTime,
 };
-use verus_stats::{StreamingStats, ThroughputSeries};
+use verus_stats::{Reservoir, StreamingStats, ThroughputSeries};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
@@ -61,6 +73,12 @@ enum EventKind {
         sent_at: SimTime,
         delivered_at: SimTime,
     },
+    /// A whole TTI's worth of packets for one flow reaches the receiver
+    /// (wheel scheduler only; index into the batch slab).
+    DeliverBatch(usize),
+    /// The ACKs for a delivered batch reach the sender (wheel scheduler
+    /// only; index into the batch slab).
+    AckBatch(usize),
     /// Verus-style reordering timer for a specific hole.
     GapTimer { flow: usize, seq: u64 },
     /// Retransmission-timeout check.
@@ -92,6 +110,89 @@ impl PartialOrd for Event {
     }
 }
 
+/// Which event scheduler a [`Simulation`] runs on.
+///
+/// Both produce the exact same dispatch order; the wheel is the fast
+/// path, the heap is the original implementation retained as the
+/// behaviour oracle (and additionally processes deliveries one event per
+/// packet instead of batching per TTI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Hierarchical timing wheel (O(1) schedule/pop) with per-TTI
+    /// delivery batching. The default, unless the `heap-sched` feature
+    /// flips it.
+    Wheel,
+    /// The original `BinaryHeap` scheduler with one event per packet.
+    LegacyHeap,
+    /// The pre-optimization event core, kept as the cost baseline the
+    /// scale benchmark compares against: binary-heap scheduling,
+    /// per-packet delivery events, one RTO-check event per ACK (no
+    /// timer coalescing), and `BTreeMap` outstanding tables. Behaviour
+    /// matches the other schedulers; only the constants differ.
+    NaiveHeap,
+}
+
+impl SchedulerKind {
+    /// The build's default: wheel, unless compiled with `heap-sched`.
+    #[must_use]
+    pub fn default_for_build() -> Self {
+        if cfg!(feature = "heap-sched") {
+            SchedulerKind::LegacyHeap
+        } else {
+            SchedulerKind::Wheel
+        }
+    }
+}
+
+/// The pluggable event queue: both variants pop in `(time, tie)` order.
+enum Sched {
+    Wheel(TimingWheel<EventKind>),
+    Heap(BinaryHeap<Reverse<Event>>),
+}
+
+impl Sched {
+    fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::Wheel => Sched::Wheel(TimingWheel::new()),
+            SchedulerKind::LegacyHeap | SchedulerKind::NaiveHeap => {
+                Sched::Heap(BinaryHeap::new())
+            }
+        }
+    }
+
+    fn push(&mut self, time: SimTime, tie: u64, kind: EventKind) {
+        match self {
+            Sched::Wheel(w) => w.schedule(time, tie, kind),
+            Sched::Heap(h) => h.push(Reverse(Event { time, tie, kind })),
+        }
+    }
+
+    fn pop_next(&mut self) -> Option<(SimTime, u64, EventKind)> {
+        match self {
+            Sched::Wheel(w) => w.pop_next(),
+            Sched::Heap(h) => h.pop().map(|Reverse(e)| (e.time, e.tie, e.kind)),
+        }
+    }
+}
+
+/// One packet inside a delivery batch.
+#[derive(Debug, Clone, Copy)]
+struct BatchPkt {
+    seq: u64,
+    bytes: u32,
+    sent_at: SimTime,
+}
+
+/// A TTI's worth of same-flow, same-arrival-time packets, carried first
+/// by a `DeliverBatch` event and then re-armed as the matching
+/// `AckBatch`. Slots live in a slab with a free list; the `pkts` Vec is
+/// recycled with its capacity, so steady state allocates nothing.
+struct Batch {
+    flow: usize,
+    delivered_at: SimTime,
+    pkts: Vec<BatchPkt>,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct PacketMeta {
     sent_at: SimTime,
@@ -100,6 +201,84 @@ struct PacketMeta {
     later_acks: u32,
     /// Armed gap timer, if any.
     gap_deadline: Option<SimTime>,
+}
+
+/// Per-flow outstanding-packet store. `Ring` is the slab/ring-buffer
+/// fast path; `Tree` is the original `BTreeMap`, kept so
+/// [`SchedulerKind::NaiveHeap`] can reproduce the pre-optimization cost
+/// model exactly. Both expose identical key-ordered semantics.
+enum Outstanding {
+    Ring(OutstandingTable<PacketMeta>),
+    Tree(BTreeMap<u64, PacketMeta>),
+}
+
+impl Outstanding {
+    fn get(&self, seq: u64) -> Option<&PacketMeta> {
+        match self {
+            Outstanding::Ring(t) => t.get(seq),
+            Outstanding::Tree(t) => t.get(&seq),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Outstanding::Ring(t) => t.len(),
+            Outstanding::Tree(t) => t.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn insert(&mut self, seq: u64, meta: PacketMeta) {
+        match self {
+            Outstanding::Ring(t) => {
+                t.insert(seq, meta);
+            }
+            Outstanding::Tree(t) => {
+                t.insert(seq, meta);
+            }
+        }
+    }
+
+    fn remove(&mut self, seq: u64) -> Option<PacketMeta> {
+        match self {
+            Outstanding::Ring(t) => t.remove(seq),
+            Outstanding::Tree(t) => t.remove(&seq),
+        }
+    }
+
+    fn front(&self) -> Option<(u64, &PacketMeta)> {
+        match self {
+            Outstanding::Ring(t) => t.front(),
+            Outstanding::Tree(t) => t.iter().next().map(|(k, v)| (*k, v)),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Outstanding::Ring(t) => t.clear(),
+            Outstanding::Tree(t) => t.clear(),
+        }
+    }
+
+    /// Visits every live `(seq, meta)` with `seq < bound` in ascending
+    /// order (the loss-detection scan).
+    fn for_each_below_mut(&mut self, bound: u64, mut f: impl FnMut(u64, &mut PacketMeta)) {
+        match self {
+            Outstanding::Ring(t) => {
+                for (seq, m) in t.iter_below_mut(bound) {
+                    f(seq, m);
+                }
+            }
+            Outstanding::Tree(t) => {
+                for (seq, m) in t.range_mut(..bound) {
+                    f(*seq, m);
+                }
+            }
+        }
+    }
 }
 
 struct FlowState {
@@ -115,14 +294,18 @@ struct FlowState {
     completed_at: Option<SimTime>,
     started: bool,
     next_seq: u64,
-    outstanding: BTreeMap<u64, PacketMeta>,
+    outstanding: Outstanding,
     rtt: RttEstimator,
     rto_deadline: Option<SimTime>,
+    /// Earliest pending `RtoCheck` event for this flow (coalesced-timer
+    /// builds; `None` when no check is in flight or coalescing is off).
+    rto_check_at: Option<SimTime>,
     rto_retries: u32,
     // metrics
     throughput: ThroughputSeries,
-    /// Raw per-delivery samples; left empty when sample buffering is off.
-    delays_ms: Vec<f64>,
+    /// Raw per-delivery samples, reservoir-capped so long crowd runs
+    /// stay bounded; left empty when sample buffering is off.
+    delays: Reservoir,
     /// Always-on O(1) delay statistics.
     delay_stats: StreamingStats,
     sent: u64,
@@ -175,27 +358,53 @@ enum Service {
     },
 }
 
+/// Seed for a flow's delay-sample reservoir: derived from the run seed
+/// but independent of the simulation's own RNG stream, and stable across
+/// scheduler implementations.
+fn delay_reservoir_seed(seed: u64, flow: usize) -> u64 {
+    seed ^ (flow as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// A configured, runnable simulation.
 pub struct Simulation {
     now: SimTime,
     end: SimTime,
-    heap: BinaryHeap<Reverse<Event>>,
+    sched: Sched,
+    sched_kind: SchedulerKind,
     tie: u64,
+    /// One pending RTO-check event per flow instead of one per ACK
+    /// (off only under [`SchedulerKind::NaiveHeap`]).
+    rto_coalesce: bool,
+    /// Whether cell TTI deliveries are coalesced into batch events
+    /// (wheel scheduler only; the heap oracle stays per-packet).
+    batching: bool,
     flows: Vec<FlowState>,
     queue: Queue,
     service: Service,
     rng: StdRng,
     impairments: Impairments,
+    seed: u64,
     /// Whether raw per-delivery delay samples are buffered into
     /// `delays_ms` (streaming statistics are recorded either way).
     record_delay_samples: bool,
-    /// Events processed so far (throughput figure for the perf baseline).
+    /// Logical events processed so far (throughput figure for the perf
+    /// baseline). A delivery/ACK batch of k packets counts as k, so the
+    /// figure stays comparable across schedulers.
     events: u64,
+    /// Running sum of every flow's `in_queue` (for O(1) queue-occupancy
+    /// invariant checks).
+    in_queue_total: u64,
+    /// Batch slab + free list for `DeliverBatch`/`AckBatch` events.
+    batches: Vec<Batch>,
+    batch_free: Vec<usize>,
     // Scratch buffers reused across events so the hot loop performs no
     // per-event heap allocation (they are taken, drained, and put back).
     scratch_deliveries: Vec<QueuedPacket>,
     scratch_condemned: Vec<u64>,
     scratch_arm: Vec<(u64, SimTime)>,
+    /// Flows whose ledger the current event touched (invariant builds
+    /// only) — conservation is checked per touched flow, not per flow.
+    scratch_touched: Vec<usize>,
 }
 
 impl Simulation {
@@ -204,10 +413,12 @@ impl Simulation {
         config.validate()?;
         let end = SimTime::ZERO + config.duration;
         let window_s = config.throughput_window.as_secs_f64();
+        let seed = config.seed;
         let flows: Vec<FlowState> = config
             .flows
             .into_iter()
-            .map(|f| FlowState {
+            .enumerate()
+            .map(|(i, f)| FlowState {
                 cc: f.cc,
                 start: f.start,
                 extra_fwd_delay: f.extra_fwd_delay,
@@ -219,12 +430,13 @@ impl Simulation {
                 completed_at: None,
                 started: false,
                 next_seq: 0,
-                outstanding: BTreeMap::new(),
+                outstanding: Outstanding::Ring(OutstandingTable::new()),
                 rtt: RttEstimator::default(),
                 rto_deadline: None,
+                rto_check_at: None,
                 rto_retries: 0,
                 throughput: ThroughputSeries::new(window_s),
-                delays_ms: Vec::new(),
+                delays: Reservoir::new(Reservoir::DEFAULT_CAP, delay_reservoir_seed(seed, i)),
                 delay_stats: StreamingStats::for_delays_ms(),
                 sent: 0,
                 delivered: 0,
@@ -261,21 +473,30 @@ impl Simulation {
             },
         };
 
+        let scheduler = SchedulerKind::default_for_build();
         let mut sim = Self {
             now: SimTime::ZERO,
             end,
-            heap: BinaryHeap::new(),
+            sched: Sched::new(scheduler),
+            sched_kind: scheduler,
             tie: 0,
+            rto_coalesce: scheduler != SchedulerKind::NaiveHeap,
+            batching: scheduler == SchedulerKind::Wheel,
             flows,
             queue: Queue::new(config.queue),
             service,
             rng: StdRng::seed_from_u64(config.seed),
             impairments: Impairments::new(config.impairments),
+            seed,
             record_delay_samples: true,
             events: 0,
+            in_queue_total: 0,
+            batches: Vec::new(),
+            batch_free: Vec::new(),
             scratch_deliveries: Vec::new(),
             scratch_condemned: Vec::new(),
             scratch_arm: Vec::new(),
+            scratch_touched: Vec::new(),
         };
 
         for i in 0..sim.flows.len() {
@@ -310,11 +531,17 @@ impl Simulation {
 
     fn schedule(&mut self, time: SimTime, kind: EventKind) {
         self.tie += 1;
-        self.heap.push(Reverse(Event {
-            time,
-            tie: self.tie,
-            kind,
-        }));
+        self.sched.push(time, self.tie, kind);
+    }
+
+    /// Records that the current event touched `flow`'s ledger, for the
+    /// per-event conservation check. Compiles to nothing when the
+    /// invariant layer is off.
+    #[inline]
+    fn touch(&mut self, flow: usize) {
+        if crate::invariants::ENABLED {
+            self.scratch_touched.push(flow);
+        }
     }
 
     /// Disables (or re-enables) buffering of raw per-delivery delay
@@ -327,6 +554,72 @@ impl Simulation {
         self
     }
 
+    /// Overrides the per-flow cap on buffered delay samples (default
+    /// [`Reservoir::DEFAULT_CAP`]). Below the cap the buffer is the
+    /// exact sample vector; past it, a uniform reservoir sample.
+    ///
+    /// Call before [`run`](Self::run) — any already-buffered samples are
+    /// discarded.
+    #[must_use]
+    pub fn with_delay_sample_cap(mut self, cap: usize) -> Self {
+        for (i, f) in self.flows.iter_mut().enumerate() {
+            f.delays = Reservoir::new(cap, delay_reservoir_seed(self.seed, i));
+        }
+        self
+    }
+
+    /// Switches the event scheduler (see [`SchedulerKind`]), migrating
+    /// any already-scheduled events with their insertion order intact.
+    /// Intended for construction time — the cross-scheduler equivalence
+    /// suite uses it to run both implementations from one binary.
+    #[must_use]
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
+        if kind == self.sched_kind {
+            return self;
+        }
+        let mut pending = Vec::new();
+        while let Some(ev) = self.sched.pop_next() {
+            pending.push(ev);
+        }
+        self.sched = Sched::new(kind);
+        for (time, tie, ev) in pending {
+            self.sched.push(time, tie, ev);
+        }
+        self.sched_kind = kind;
+        self.batching = kind == SchedulerKind::Wheel;
+        self.rto_coalesce = kind != SchedulerKind::NaiveHeap;
+        // The naive core keeps its original BTreeMap tables; everything
+        // else runs the ring table. Entries migrate either way (empty in
+        // practice: the switch happens before `run`).
+        for f in &mut self.flows {
+            let naive = kind == SchedulerKind::NaiveHeap;
+            let is_tree = matches!(f.outstanding, Outstanding::Tree(_));
+            if naive != is_tree {
+                let mut moved: Vec<(u64, PacketMeta)> = Vec::new();
+                match &f.outstanding {
+                    Outstanding::Ring(t) => moved.extend(t.iter().map(|(k, v)| (k, *v))),
+                    Outstanding::Tree(t) => moved.extend(t.iter().map(|(k, v)| (*k, *v))),
+                }
+                let mut next = if naive {
+                    Outstanding::Tree(BTreeMap::new())
+                } else {
+                    Outstanding::Ring(OutstandingTable::new())
+                };
+                for (k, v) in moved {
+                    next.insert(k, v);
+                }
+                f.outstanding = next;
+            }
+        }
+        self
+    }
+
+    /// The active scheduler implementation.
+    #[must_use]
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.sched_kind
+    }
+
     /// Runs to completion and returns per-flow reports.
     pub fn run(self) -> Vec<FlowReport> {
         self.run_observed(SimDuration::MAX, |_, _| {})
@@ -335,9 +628,22 @@ impl Simulation {
     /// Runs to completion and additionally returns the number of events
     /// processed (the denominator for events/sec perf baselines).
     pub fn run_counted(self) -> (Vec<FlowReport>, u64) {
-        let mut events = 0;
-        let reports = self.run_observed_counting(SimDuration::MAX, |_, _| {}, &mut events);
+        let (reports, events, _) = self.run_instrumented();
         (reports, events)
+    }
+
+    /// Runs to completion and returns `(reports, logical events, raw
+    /// scheduler pops)`. Logical events credit a delivery/ACK batch with
+    /// its packet count, so they are comparable across schedulers; raw
+    /// pops count what the event core actually dequeued — the batched
+    /// wheel retires many logical events per pop, the per-packet
+    /// schedulers exactly one.
+    pub fn run_instrumented(self) -> (Vec<FlowReport>, u64, u64) {
+        let mut events = 0;
+        let mut pops = 0;
+        let reports =
+            self.run_observed_counting(SimDuration::MAX, |_, _| {}, &mut events, &mut pops);
+        (reports, events, pops)
     }
 
     /// Runs to completion, invoking `observer` every `interval` with the
@@ -348,7 +654,8 @@ impl Simulation {
         F: FnMut(SimTime, &[&dyn CongestionControl]),
     {
         let mut events = 0;
-        self.run_observed_counting(interval, observer, &mut events)
+        let mut pops = 0;
+        self.run_observed_counting(interval, observer, &mut events, &mut pops)
     }
 
     fn run_observed_counting<F>(
@@ -356,6 +663,7 @@ impl Simulation {
         interval: SimDuration,
         mut observer: F,
         events_out: &mut u64,
+        pops_out: &mut u64,
     ) -> Vec<FlowReport>
     where
         F: FnMut(SimTime, &[&dyn CongestionControl]),
@@ -363,13 +671,14 @@ impl Simulation {
         if interval < self.end.saturating_since(SimTime::ZERO) {
             self.schedule(SimTime::ZERO + interval, EventKind::Observe);
         }
-        while let Some(Reverse(ev)) = self.heap.pop() {
-            if ev.time > self.end {
+        while let Some((time, _tie, kind)) = self.sched.pop_next() {
+            if time > self.end {
                 break;
             }
-            self.now = ev.time;
+            self.now = time;
             self.events += 1;
-            match ev.kind {
+            *pops_out += 1;
+            match kind {
                 EventKind::Observe => {
                     let ccs: Vec<&dyn CongestionControl> =
                         self.flows.iter().map(|f| f.cc.as_ref()).collect();
@@ -378,6 +687,9 @@ impl Simulation {
                     self.schedule(next, EventKind::Observe);
                 }
                 other => {
+                    if crate::invariants::ENABLED {
+                        self.scratch_touched.clear();
+                    }
                     self.dispatch(other);
                     self.check_conservation();
                 }
@@ -392,7 +704,7 @@ impl Simulation {
                 protocol: f.cc.name().to_string(),
                 flow: i,
                 throughput: f.throughput,
-                delays_ms: f.delays_ms,
+                delays_ms: f.delays.into_samples(),
                 delay_stats: f.delay_stats,
                 sent: f.sent,
                 delivered: f.delivered,
@@ -413,24 +725,40 @@ impl Simulation {
             .collect()
     }
 
-    /// Verifies the packet-conservation ledger for every flow after an
-    /// event (see [`crate::invariants`]); empty stub in plain release
-    /// builds.
+    /// Verifies the packet-conservation ledger after an event (see
+    /// [`crate::invariants`]); empty stub in plain release builds.
+    ///
+    /// Cost is O(flows touched by the event), not O(all flows): each
+    /// event checks the ledgers it could have changed plus the running
+    /// queue-occupancy total. A full every-flow sweep (which also
+    /// re-derives the running total from scratch) runs every 4096 events
+    /// so drift in the incremental bookkeeping itself cannot hide.
     fn check_conservation(&self) {
         #[cfg(any(debug_assertions, feature = "strict-invariants"))]
         {
-            let mut queued_total = 0u64;
-            for (i, f) in self.flows.iter().enumerate() {
-                crate::invariants::packet_conservation(i, &f.ledger());
-                queued_total += f.in_queue;
+            for &i in &self.scratch_touched {
+                crate::invariants::packet_conservation(i, &self.flows[i].ledger());
             }
-            crate::invariants::queue_accounting(queued_total, self.queue.len());
+            crate::invariants::queue_accounting(self.in_queue_total, self.queue.len());
+            if self.events % 4096 == 0 {
+                let mut queued_total = 0u64;
+                for (i, f) in self.flows.iter().enumerate() {
+                    crate::invariants::packet_conservation(i, &f.ledger());
+                    queued_total += f.in_queue;
+                }
+                assert_eq!(
+                    queued_total, self.in_queue_total,
+                    "running queue-occupancy total drifted from per-flow sum"
+                );
+                crate::invariants::queue_accounting(queued_total, self.queue.len());
+            }
         }
     }
 
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::FlowStart(i) => {
+                self.touch(i);
                 self.flows[i].started = true;
                 if let Some(tick) = self.flows[i].cc.tick_interval() {
                     self.schedule(self.now + tick, EventKind::CcTick(i));
@@ -438,6 +766,7 @@ impl Simulation {
                 self.pump(i);
             }
             EventKind::CcTick(i) => {
+                self.touch(i);
                 let now = self.now;
                 self.flows[i].cc.on_tick(now);
                 if let Some(tick) = self.flows[i].cc.tick_interval() {
@@ -453,23 +782,8 @@ impl Simulation {
                 bytes,
                 sent_at,
             } => {
-                let f = &mut self.flows[flow];
-                f.in_transit -= 1;
-                f.delivered += 1;
-                f.delivered_bytes += u64::from(bytes);
-                if let Some(limit) = f.transfer_bytes {
-                    if f.completed_at.is_none() && f.delivered_bytes >= limit {
-                        f.completed_at = Some(self.now);
-                    }
-                }
-                let delay = self.now.saturating_since(sent_at);
-                let delay_ms = delay.as_millis_f64();
-                f.delay_stats.record(delay_ms);
-                if self.record_delay_samples {
-                    f.delays_ms.push(delay_ms);
-                }
-                f.throughput
-                    .record(self.now.as_secs_f64(), u64::from(bytes));
+                self.touch(flow);
+                self.record_delivery(flow, bytes, sent_at);
                 // Receiver ACKs immediately; ACK path is uncongested.
                 let ack_at = self.now + self.ack_delay(flow);
                 self.schedule(
@@ -483,16 +797,52 @@ impl Simulation {
                     },
                 );
             }
+            EventKind::DeliverBatch(slot) => {
+                let flow = self.batches[slot].flow;
+                self.touch(flow);
+                let pkts = std::mem::take(&mut self.batches[slot].pkts);
+                // A k-packet batch is k logical events (one was already
+                // counted by the run loop).
+                self.events += pkts.len() as u64 - 1;
+                for p in &pkts {
+                    self.record_delivery(flow, p.bytes, p.sent_at);
+                }
+                // Re-arm the same slot as the matching ACK batch: every
+                // packet shares the flow's (uncongested) ACK path delay.
+                self.batches[slot].delivered_at = self.now;
+                self.batches[slot].pkts = pkts;
+                let ack_at = self.now + self.ack_delay(flow);
+                self.schedule(ack_at, EventKind::AckBatch(slot));
+            }
             EventKind::AckArrive {
                 flow,
                 seq,
                 bytes,
                 sent_at,
                 delivered_at,
-            } => self.on_ack(flow, seq, bytes, sent_at, delivered_at),
+            } => {
+                self.touch(flow);
+                self.on_ack(flow, seq, bytes, sent_at, delivered_at);
+            }
+            EventKind::AckBatch(slot) => {
+                let flow = self.batches[slot].flow;
+                let delivered_at = self.batches[slot].delivered_at;
+                self.touch(flow);
+                let mut pkts = std::mem::take(&mut self.batches[slot].pkts);
+                self.events += pkts.len() as u64 - 1;
+                // Process in delivery order — identical to the oracle's
+                // back-to-back per-packet AckArrive dispatches.
+                for p in pkts.drain(..) {
+                    self.on_ack(flow, p.seq, p.bytes, p.sent_at, delivered_at);
+                }
+                // Recycle the slot, keeping the Vec's capacity.
+                self.batches[slot].pkts = pkts;
+                self.batch_free.push(slot);
+            }
             EventKind::GapTimer { flow, seq } => {
+                self.touch(flow);
                 let f = &mut self.flows[flow];
-                let fire = match f.outstanding.get(&seq) {
+                let fire = match f.outstanding.get(seq) {
                     Some(meta) => meta.gap_deadline == Some(self.now),
                     None => false,
                 };
@@ -501,7 +851,23 @@ impl Simulation {
                     self.pump(flow);
                 }
             }
-            EventKind::RtoCheck(i) => self.on_rto_check(i),
+            EventKind::RtoCheck(i) => {
+                self.touch(i);
+                // Coalesced timers: only the tracked (earliest) check
+                // re-arms; stale duplicates fall through as no-ops.
+                let tracked = self.rto_coalesce && self.flows[i].rto_check_at == Some(self.now);
+                if tracked {
+                    self.flows[i].rto_check_at = None;
+                }
+                self.on_rto_check(i);
+                if tracked {
+                    if let Some(d) = self.flows[i].rto_deadline {
+                        if d > self.now {
+                            self.arm_rto_check(i, d);
+                        }
+                    }
+                }
+            }
             EventKind::ParamChange(idx) => {
                 if let Service::Fixed {
                     ref schedule,
@@ -608,7 +974,7 @@ impl Simulation {
         if f.rto_deadline.is_none() {
             let deadline = now + f.rtt.rto();
             f.rto_deadline = Some(deadline);
-            self.schedule(deadline, EventKind::RtoCheck(flow));
+            self.arm_rto_check(flow, deadline);
         }
         // Stochastic (radio) loss happens before the queue: the packet
         // simply never arrives; the sender finds out via its detectors.
@@ -644,6 +1010,7 @@ impl Simulation {
             );
             if accepted == EnqueueResult::Queued {
                 self.flows[flow].in_queue += 1;
+                self.in_queue_total += 1;
                 self.maybe_start_fixed_service();
             } else {
                 self.flows[flow].queue_drops += 1;
@@ -691,37 +1058,84 @@ impl Simulation {
         self.maybe_start_fixed_service();
     }
 
+    /// Ledger + metrics bookkeeping for one packet reaching the
+    /// receiver (shared by per-packet `Deliver` and `DeliverBatch`).
+    fn record_delivery(&mut self, flow: usize, bytes: u32, sent_at: SimTime) {
+        let f = &mut self.flows[flow];
+        f.in_transit -= 1;
+        f.delivered += 1;
+        f.delivered_bytes += u64::from(bytes);
+        if let Some(limit) = f.transfer_bytes {
+            if f.completed_at.is_none() && f.delivered_bytes >= limit {
+                f.completed_at = Some(self.now);
+            }
+        }
+        let delay = self.now.saturating_since(sent_at);
+        let delay_ms = delay.as_millis_f64();
+        f.delay_stats.record(delay_ms);
+        if self.record_delay_samples {
+            f.delays.push(delay_ms);
+        }
+        f.throughput
+            .record(self.now.as_secs_f64(), u64::from(bytes));
+    }
+
     /// A packet leaves the bottleneck: apply egress impairments
-    /// (corruption, reordering) and schedule the delivery.
-    fn depart(&mut self, pkt: QueuedPacket) {
+    /// (corruption, reordering) and compute its arrival. Returns
+    /// `None` when the packet was corrupted in flight, otherwise
+    /// `(deliver_at, sent_at)` for the delivery event.
+    fn process_departure(&mut self, pkt: &QueuedPacket) -> Option<(SimTime, SimTime)> {
         let base_delay = self.fwd_delay(pkt.flow);
         let fate = self.impairments.on_egress();
+        self.touch(pkt.flow);
         let fs = &mut self.flows[pkt.flow];
         fs.in_queue -= 1;
+        self.in_queue_total -= 1;
         if fate.corrupted {
             // Traverses the link but fails the receiver's checksum: the
             // sender learns of it only through its loss detectors.
             fs.corrupt_dropped += 1;
-            return;
+            return None;
         }
         fs.in_transit += 1;
         // Reconstruct sender metadata for the delivery event.
         let sent_at = fs
             .outstanding
-            .get(&pkt.seq)
+            .get(pkt.seq)
             .map(|m| m.sent_at)
             .unwrap_or(pkt.enqueued);
-        let deliver_at =
-            self.now + base_delay + fate.extra_delay.unwrap_or(SimDuration::ZERO);
-        self.schedule(
-            deliver_at,
-            EventKind::Deliver {
-                flow: pkt.flow,
-                seq: pkt.seq,
-                bytes: pkt.bytes,
-                sent_at,
-            },
-        );
+        let deliver_at = self.now + base_delay + fate.extra_delay.unwrap_or(SimDuration::ZERO);
+        Some((deliver_at, sent_at))
+    }
+
+    fn depart(&mut self, pkt: QueuedPacket) {
+        if let Some((deliver_at, sent_at)) = self.process_departure(&pkt) {
+            self.schedule(
+                deliver_at,
+                EventKind::Deliver {
+                    flow: pkt.flow,
+                    seq: pkt.seq,
+                    bytes: pkt.bytes,
+                    sent_at,
+                },
+            );
+        }
+    }
+
+    /// Takes a batch slot off the free list (or grows the slab).
+    fn alloc_batch(&mut self, flow: usize) -> usize {
+        if let Some(slot) = self.batch_free.pop() {
+            debug_assert!(self.batches[slot].pkts.is_empty());
+            self.batches[slot].flow = flow;
+            slot
+        } else {
+            self.batches.push(Batch {
+                flow,
+                delivered_at: SimTime::ZERO,
+                pkts: Vec::new(),
+            });
+            self.batches.len() - 1
+        }
     }
 
     /// Cell link: one delivery opportunity releases queued bytes.
@@ -777,9 +1191,51 @@ impl Simulation {
             let t = next_time.max(self.now);
             self.schedule(t, EventKind::CellOpportunity);
         }
-        // Phase 2: egress impairments + delivery scheduling.
-        for pkt in deliveries.drain(..) {
-            self.depart(pkt);
+        // Phase 2: egress impairments + delivery scheduling. On the
+        // wheel scheduler, consecutive packets of the same flow arriving
+        // at the same instant coalesce into one `DeliverBatch` event.
+        //
+        // Equivalence with the per-packet oracle: the oracle schedules
+        // this TTI's `Deliver` events back-to-back (consecutive tie
+        // values — nothing else schedules in between), so no foreign
+        // same-timestamp event can interleave a batch's run; replaying
+        // the run inside one event preserves the exact dispatch order.
+        // Egress impairment draws stay one-per-packet in drain order, so
+        // the RNG streams are identical too. Corrupted packets produce
+        // no event in either mode (and so never split a batch).
+        if self.batching {
+            // Open batch: (flow, deliver_at, slab slot).
+            let mut open: Option<(usize, SimTime, usize)> = None;
+            for pkt in deliveries.drain(..) {
+                let Some((deliver_at, sent_at)) = self.process_departure(&pkt) else {
+                    continue;
+                };
+                let bp = BatchPkt {
+                    seq: pkt.seq,
+                    bytes: pkt.bytes,
+                    sent_at,
+                };
+                match open {
+                    Some((flow, at, slot)) if flow == pkt.flow && at == deliver_at => {
+                        self.batches[slot].pkts.push(bp);
+                    }
+                    _ => {
+                        if let Some((_, at, slot)) = open {
+                            self.schedule(at, EventKind::DeliverBatch(slot));
+                        }
+                        let slot = self.alloc_batch(pkt.flow);
+                        self.batches[slot].pkts.push(bp);
+                        open = Some((pkt.flow, deliver_at, slot));
+                    }
+                }
+            }
+            if let Some((_, at, slot)) = open {
+                self.schedule(at, EventKind::DeliverBatch(slot));
+            }
+        } else {
+            for pkt in deliveries.drain(..) {
+                self.depart(pkt);
+            }
         }
         self.scratch_deliveries = deliveries;
     }
@@ -804,7 +1260,7 @@ impl Simulation {
         // Karn's ambiguity impossible here) and feeding it is what stops
         // a spurious-timeout spiral: after an RTO clears the window, the
         // estimator must keep learning that the path is slow.
-        let Some(meta) = self.flows[flow].outstanding.remove(&seq) else {
+        let Some(meta) = self.flows[flow].outstanding.remove(seq) else {
             self.flows[flow].rtt.on_sample(rtt);
             return;
         };
@@ -830,7 +1286,7 @@ impl Simulation {
             );
         }
         if let Some(deadline) = self.flows[flow].rto_deadline {
-            self.schedule(deadline, EventKind::RtoCheck(flow));
+            self.arm_rto_check(flow, deadline);
         }
 
         // Loss detection on the holes below this ACK. Both work lists are
@@ -842,23 +1298,21 @@ impl Simulation {
             let f = &mut self.flows[flow];
             let detection = f.loss_detection;
             let srtt = f.rtt.srtt_or(SimDuration::from_millis(200));
-            for (&hole, m) in f.outstanding.range_mut(..seq) {
-                match detection {
-                    LossDetection::PacketThreshold { threshold } => {
-                        m.later_acks += 1;
-                        if m.later_acks >= threshold {
-                            condemned.push(hole);
-                        }
-                    }
-                    LossDetection::GapTimer { factor } => {
-                        if m.gap_deadline.is_none() {
-                            let deadline = now + srtt.mul_f64(factor);
-                            m.gap_deadline = Some(deadline);
-                            to_arm.push((hole, deadline));
-                        }
+            f.outstanding.for_each_below_mut(seq, |hole, m| match detection {
+                LossDetection::PacketThreshold { threshold } => {
+                    m.later_acks += 1;
+                    if m.later_acks >= threshold {
+                        condemned.push(hole);
                     }
                 }
-            }
+                LossDetection::GapTimer { factor } => {
+                    if m.gap_deadline.is_none() {
+                        let deadline = now + srtt.mul_f64(factor);
+                        m.gap_deadline = Some(deadline);
+                        to_arm.push((hole, deadline));
+                    }
+                }
+            });
         }
         for (hole, deadline) in to_arm.drain(..) {
             self.schedule(deadline, EventKind::GapTimer { flow, seq: hole });
@@ -874,7 +1328,7 @@ impl Simulation {
     fn declare_fast_loss(&mut self, flow: usize, seq: u64) {
         let now = self.now;
         let f = &mut self.flows[flow];
-        let Some(meta) = f.outstanding.remove(&seq) else {
+        let Some(meta) = f.outstanding.remove(seq) else {
             return;
         };
         f.fast_losses += 1;
@@ -898,7 +1352,7 @@ impl Simulation {
             return;
         }
         let f = &mut self.flows[flow];
-        let Some((&oldest, meta)) = f.outstanding.iter().next() else {
+        let Some((oldest, meta)) = f.outstanding.front() else {
             return; // unreachable: `fire` requires a non-empty outstanding set
         };
         let send_window = meta.send_window;
@@ -921,8 +1375,28 @@ impl Simulation {
         let backoff = f.rtt.backed_off_rto(f.rto_retries);
         let deadline = now + backoff;
         f.rto_deadline = Some(deadline);
-        self.schedule(deadline, EventKind::RtoCheck(flow));
+        self.arm_rto_check(flow, deadline);
         self.pump(flow);
+    }
+
+    /// Ensures an `RtoCheck` event will fire at (or before, re-arming
+    /// toward) `deadline`. Coalesced builds keep at most one *tracked*
+    /// pending check per flow: a check scheduled for an earlier time
+    /// covers every later deadline, because on firing it re-arms at the
+    /// then-current deadline. The naive core schedules one event per
+    /// call, exactly like the original implementation.
+    fn arm_rto_check(&mut self, flow: usize, deadline: SimTime) {
+        if !self.rto_coalesce {
+            self.schedule(deadline, EventKind::RtoCheck(flow));
+            return;
+        }
+        match self.flows[flow].rto_check_at {
+            Some(t) if t <= deadline => {}
+            _ => {
+                self.flows[flow].rto_check_at = Some(deadline);
+                self.schedule(deadline, EventKind::RtoCheck(flow));
+            }
+        }
     }
 }
 

@@ -9,6 +9,22 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
+/// Round-half-up for non-negative finite `x`, saturating at `u64::MAX`.
+///
+/// Exactly equivalent to `x.round() as u64` on that domain (halves round
+/// away from zero, which is up for non-negatives; above 2^53 every f64 is
+/// already an integer so the fractional test is vacuous), but compiled to
+/// two conversions and a compare instead of a libm `round` call — the
+/// baseline x86-64 target has no `roundsd`, and the RTT estimator makes
+/// several rounding conversions per ACK, enough to show up in event-loop
+/// profiles.
+#[inline]
+fn round_nonneg(x: f64) -> u64 {
+    debug_assert!(x >= 0.0);
+    let t = x as u64;
+    t + u64::from(x - t as f64 >= 0.5 && t != u64::MAX)
+}
+
 /// An instant on the simulation clock, in nanoseconds since simulation
 /// start.
 #[derive(
@@ -59,7 +75,7 @@ impl SimTime {
     #[must_use]
     pub fn from_secs_f64(s: f64) -> Self {
         assert!(s.is_finite() && s >= 0.0, "invalid time {s}");
-        Self((s * 1e9).round() as u64)
+        Self(round_nonneg(s * 1e9))
     }
 
     /// Raw nanoseconds.
@@ -140,14 +156,14 @@ impl SimDuration {
     #[must_use]
     pub fn from_secs_f64(s: f64) -> Self {
         assert!(s.is_finite() && s >= 0.0, "invalid duration {s}");
-        Self((s * 1e9).round() as u64)
+        Self(round_nonneg(s * 1e9))
     }
 
     /// Constructs from fractional milliseconds.
     #[must_use]
     pub fn from_millis_f64(ms: f64) -> Self {
         assert!(ms.is_finite() && ms >= 0.0, "invalid duration {ms} ms");
-        Self((ms * 1e6).round() as u64)
+        Self(round_nonneg(ms * 1e6))
     }
 
     /// Raw nanoseconds.
@@ -178,7 +194,7 @@ impl SimDuration {
     #[must_use]
     pub fn mul_f64(self, k: f64) -> Self {
         assert!(k.is_finite() && k >= 0.0, "invalid factor {k}");
-        Self((self.0 as f64 * k).round() as u64)
+        Self(round_nonneg(self.0 as f64 * k))
     }
 
     /// Converts to `std::time::Duration` (for the real-socket transport).

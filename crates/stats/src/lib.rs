@@ -14,7 +14,9 @@
 //! * [`jain`] — Jain's fairness index (paper Eq. 7, Table 1);
 //! * [`timeseries`] — windowed throughput/delay aggregation (Figures 4, 7a,
 //!   11–14 all plot per-window throughput series);
-//! * [`running`] — Welford running mean/variance.
+//! * [`running`] — Welford running mean/variance;
+//! * [`reservoir`] — bounded-memory uniform sampling (Algorithm R) so
+//!   per-packet diagnostics stay O(1) in memory on crowd-scale runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@ pub mod ewma;
 pub mod histogram;
 pub mod jain;
 pub mod quantile;
+pub mod reservoir;
 pub mod running;
 pub mod stream;
 pub mod timeseries;
@@ -33,6 +36,7 @@ pub use ewma::Ewma;
 pub use histogram::{Histogram, LogHistogram};
 pub use jain::jain_index;
 pub use quantile::{quantile, P2Quantile, Summary};
+pub use reservoir::Reservoir;
 pub use running::Running;
 pub use stream::StreamingStats;
 pub use timeseries::{windowed_jain_mean, windowed_jain_mean_from, ThroughputSeries, WindowedSeries};

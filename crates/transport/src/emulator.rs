@@ -120,6 +120,7 @@ pub struct EmulatorHandle {
     shared: Arc<EmulatorShared>,
     thread: Option<JoinHandle<()>>,
     ingress_addr: SocketAddr,
+    delivered: Option<Arc<AtomicU64>>,
 }
 
 /// The emulator factory.
@@ -148,6 +149,7 @@ impl Emulator {
             shared,
             thread: Some(thread),
             ingress_addr,
+            delivered: None,
         })
     }
 }
@@ -400,18 +402,48 @@ impl EmulatorHandle {
         self.shared.watchdog_fired.load(Ordering::Relaxed)
     }
 
+    /// Wires in the receiver's delivered-packet counter (from
+    /// [`crate::ReceiverHandle::delivered_counter`]) so
+    /// [`Self::trace_counters`] can report the far end of the forward
+    /// data path alongside the emulator's own tallies.
+    pub fn attach_delivered(&mut self, counter: Arc<AtomicU64>) {
+        self.delivered = Some(counter);
+    }
+
+    /// Data packets the attached receiver has delivered so far; `None`
+    /// until [`Self::attach_delivered`] is called.
+    #[must_use]
+    pub fn delivered(&self) -> Option<u64> {
+        self.delivered.as_ref().map(|c| c.load(Ordering::Relaxed))
+    }
+
     /// The emulator's packet counters as named counters for a
     /// `verus-trace` summary record — the transport-side analogue of the
     /// simulator's conservation ledger (received = forwarded + dropped +
     /// impaired once the pipeline drains).
+    ///
+    /// With a receiver counter attached ([`Self::attach_delivered`]) the
+    /// far end of the forward data path is reported too:
+    /// `receiver_delivered`, plus `data_in_flight` = forwarded −
+    /// delivered, the packets handed to the egress socket that the
+    /// receiver has not yet counted. On a quiesced run that difference
+    /// must drain to exactly zero; a packet lost on the loopback hop
+    /// (e.g. receiver socket-buffer overflow) leaves a permanent
+    /// residue, which is what the trace-parity hard equality catches.
     #[must_use]
     pub fn trace_counters(&self) -> Vec<(&'static str, u64)> {
-        vec![
+        let forwarded = self.forwarded();
+        let mut counters = vec![
             ("emulator_received", self.received()),
-            ("emulator_forwarded", self.forwarded()),
+            ("emulator_forwarded", forwarded),
             ("emulator_dropped", self.dropped()),
             ("emulator_impaired", self.impaired()),
-        ]
+        ];
+        if let Some(delivered) = self.delivered() {
+            counters.push(("receiver_delivered", delivered));
+            counters.push(("data_in_flight", forwarded.saturating_sub(delivered)));
+        }
+        counters
     }
 
     /// Whether the emulator thread has exited (watchdog or stop).

