@@ -57,7 +57,7 @@ where
         for _ in 0..jobs {
             let tx = tx.clone();
             scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
+                let i = next.fetch_add(1, Ordering::Relaxed); // ordering: fetch_add atomicity alone makes claims unique; results sync via the channel
                 if i >= n {
                     break;
                 }

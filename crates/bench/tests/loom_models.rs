@@ -1,0 +1,90 @@
+//! Model-checked replica of the bench harness's work-claiming protocol.
+//!
+//! `parallel.rs::run_ordered` hands scenario indices to worker threads
+//! through a shared `AtomicUsize` bumped with `fetch_add(1,
+//! Ordering::Relaxed)`. The `// ordering:` comment at that site argues
+//! that fetch_add's atomicity *alone* guarantees each index is claimed
+//! exactly once — no cross-variable ordering needed, because results
+//! travel back through a channel that does its own synchronization.
+//! This test replays the claim loop under every interleaving to make
+//! that argument executable, and the companion `exists_failing` test
+//! shows the load-then-store variant it forbids really does double-claim.
+
+use std::sync::Arc;
+
+use verus_model::sync::{AtomicU64, AtomicUsize, Ordering};
+use verus_model::{exists_failing, model, thread};
+
+const ITEMS: usize = 3;
+const WORKERS: usize = 2;
+
+#[test]
+fn claim_counter_assigns_each_item_to_exactly_one_worker() {
+    let stats = model(|| {
+        let next = Arc::new(AtomicUsize::new(0));
+        let claims: Arc<Vec<AtomicU64>> =
+            Arc::new((0..ITEMS).map(|_| AtomicU64::new(0)).collect());
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let next = Arc::clone(&next);
+                let claims = Arc::clone(&claims);
+                thread::spawn(move || {
+                    // Mirrors the worker loop in run_ordered: claim,
+                    // bounds-check, process. The loop is naturally
+                    // bounded by the item count.
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= ITEMS {
+                            break;
+                        }
+                        claims[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(
+                c.load(Ordering::Relaxed),
+                1,
+                "item {i} claimed a wrong number of times"
+            );
+        }
+    });
+    assert!(!stats.truncated, "claim protocol explored exhaustively");
+}
+
+#[test]
+fn load_then_store_claiming_double_claims_in_some_schedule() {
+    // The bug fetch_add prevents: two workers read the same `next`,
+    // both claim the same item. One packet's worth of interleaving is
+    // enough for the model to find it.
+    let found = exists_failing(|| {
+        let next = Arc::new(AtomicUsize::new(0));
+        let claims: Arc<Vec<AtomicU64>> =
+            Arc::new((0..ITEMS).map(|_| AtomicU64::new(0)).collect());
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let next = Arc::clone(&next);
+                let claims = Arc::clone(&claims);
+                thread::spawn(move || loop {
+                    let i = next.load(Ordering::Relaxed);
+                    if i >= ITEMS {
+                        break;
+                    }
+                    next.store(i + 1, Ordering::Relaxed);
+                    claims[i].fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i} double-claimed");
+        }
+    });
+    assert!(found, "torn claim loop must double-claim in some schedule");
+}

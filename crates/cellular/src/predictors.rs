@@ -312,7 +312,9 @@ mod tests {
             EwmaPredictor::new(0.9).name(),
             LinearPredictor::new(8).name(),
         ];
-        let set: std::collections::HashSet<_> = names.iter().collect();
+        // BTreeSet, not HashSet: the deterministic crates ban unordered
+        // iteration (verus-check `no-unordered-iteration`).
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
         assert_eq!(set.len(), names.len());
     }
 }

@@ -311,12 +311,18 @@ mod tests {
         };
         let cfg = CellConfig::new(budget(), vec![user, user]);
         let mut rng = StdRng::seed_from_u64(2);
-        let res = run_cell(&cfg, SimDuration::from_secs(10), &mut rng);
+        // PF equalizes throughput only on timescales long against the
+        // shadowing process (τ = 12 s for the stationary profile): over a
+        // few τ each user's shadow fade averages out, while a run
+        // comparable to τ is a single quasi-static draw and any split is
+        // possible. 60 s ≈ 5τ keeps the check meaningful and fast.
+        let secs = 60.0;
+        let res = run_cell(&cfg, SimDuration::from_secs(secs as u64), &mut rng);
         let a = res[0].delivered_bytes as f64;
         let b = res[1].delivered_bytes as f64;
         assert!((a / b - 1.0).abs() < 0.15, "split {a} vs {b}");
         // PF exploits peaks: the sum should exceed half-capacity each.
-        assert!(a + b > 0.5 * 10e6 / 8.0 * 10.0);
+        assert!(a + b > 0.5 * 10e6 / 8.0 * secs);
     }
 
     #[test]

@@ -1,0 +1,462 @@
+//! A span-carrying lexer for the scanner's *code view* of a Rust file.
+//!
+//! The front half of this module splits raw source into two parallel
+//! views of identical byte length (newlines preserved in both, so byte
+//! offsets map to the same lines everywhere):
+//!
+//! * the **code view** — comments and string/char-literal contents
+//!   blanked out, everything else intact;
+//! * the **comment view** — the complement: only comment text survives
+//!   (including the `//`/`/*` markers), code and literals blanked.
+//!
+//! Rules match tokens lexed from the code view, so a doc comment
+//! mentioning `unwrap()` can never trip a rule. Suppression markers and
+//! ordering justifications are parsed from the comment view, so a
+//! string literal containing the marker text (as the seeded fixtures in
+//! `tests/rules.rs` do) is never mistaken for a real suppression —
+//! which is what makes stale-suppression detection sound.
+//!
+//! The back half lexes the code view into a flat token stream. Because
+//! literals and comments are already blanked, the lexer only has to
+//! understand four shapes: identifiers (keywords included), numbers,
+//! lifetimes, and single-byte punctuation. Every token carries its byte
+//! span and 1-based line.
+
+/// The two complementary views of one source file. Both strings have
+/// exactly the same length and line structure as the original text.
+pub struct Views {
+    /// Comments and literal contents blanked; code intact.
+    pub code: String,
+    /// Code and literal contents blanked; comments intact.
+    pub comments: String,
+}
+
+pub(crate) fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Splits `text` into the code view and the comment view in one pass.
+///
+/// Handles line comments, nested block comments, normal strings with
+/// escapes, raw (and byte-raw) strings with any number of `#`s, and the
+/// char-literal-versus-lifetime ambiguity.
+#[must_use]
+pub fn split_views(text: &str) -> Views {
+    let b = text.as_bytes();
+    let mut code = Vec::with_capacity(b.len());
+    let mut comments = Vec::with_capacity(b.len());
+    let blank = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
+    // Pushes one byte to the kept view and a blank to the other.
+    macro_rules! keep {
+        (code, $c:expr) => {{
+            code.push($c);
+            comments.push(blank($c));
+        }};
+        (comments, $c:expr) => {{
+            comments.push($c);
+            code.push(blank($c));
+        }};
+        (neither, $c:expr) => {{
+            code.push(blank($c));
+            comments.push(blank($c));
+        }};
+    }
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                keep!(comments, b[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nesting).
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    keep!(comments, b[i]);
+                    keep!(comments, b[i + 1]);
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    keep!(comments, b[i]);
+                    keep!(comments, b[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    keep!(comments, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string: optional `b`, `r`, hashes, quote.
+        if (c == b'r' || c == b'b') && (i == 0 || !is_ident(b[i - 1])) {
+            let mut j = i;
+            if b[j] == b'b' {
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'r' {
+                j += 1;
+                let mut hashes = 0usize;
+                while b.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if b.get(j) == Some(&b'"') {
+                    j += 1;
+                    // Scan to closing quote + same number of hashes.
+                    'raw: while j < b.len() {
+                        if b[j] == b'"' {
+                            let mut k = 0usize;
+                            while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    for idx in i..j.min(b.len()) {
+                        keep!(neither, b[idx]);
+                    }
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        // Normal string.
+        if c == b'"' {
+            keep!(neither, c);
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' {
+                    keep!(neither, b[i]);
+                    if i + 1 < b.len() {
+                        keep!(neither, b[i + 1]);
+                    }
+                    i += 2;
+                } else if b[i] == b'"' {
+                    keep!(neither, b[i]);
+                    i += 1;
+                    break;
+                } else {
+                    keep!(neither, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs lifetime: `'` starts a char literal when the
+        // next byte is an escape, or when the byte after next closes it.
+        if c == b'\'' {
+            let next = b.get(i + 1).copied();
+            let is_char = match next {
+                Some(b'\\') => true,
+                Some(_) => b.get(i + 2) == Some(&b'\''),
+                None => false,
+            };
+            if is_char {
+                keep!(neither, c);
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        keep!(neither, b[i]);
+                        if i + 1 < b.len() {
+                            keep!(neither, b[i + 1]);
+                        }
+                        i += 2;
+                    } else if b[i] == b'\'' {
+                        keep!(neither, b[i]);
+                        i += 1;
+                        break;
+                    } else {
+                        keep!(neither, b[i]);
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        keep!(code, c);
+        i += 1;
+    }
+    Views {
+        code: String::from_utf8_lossy(&code).into_owned(),
+        comments: String::from_utf8_lossy(&comments).into_owned(),
+    }
+}
+
+/// What shape a token has. The scanner only distinguishes enough to
+/// match rule patterns reliably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword: `Instant`, `as`, `unwrap`, `static`.
+    Ident,
+    /// Numeric literal, including suffixes: `1.5`, `0xFF`, `64u64`.
+    Number,
+    /// Lifetime or loop label: `'a`, `'static`.
+    Lifetime,
+    /// A single punctuation byte: `.`, `:`, `!`, `(`, …
+    Punct,
+}
+
+/// One token of the code view, carrying its byte span and 1-based line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Byte offset of the token's first byte in the code view.
+    pub start: usize,
+    /// Byte length.
+    pub len: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// Token shape.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// The token's text, sliced out of the code view it was lexed from.
+    #[must_use]
+    pub fn text<'a>(&self, code: &'a str) -> &'a str {
+        &code[self.start..self.start + self.len]
+    }
+}
+
+/// Lexes the code view into a flat token stream.
+///
+/// Must be called on the output of [`split_views`]: string/char
+/// contents and comments are assumed blanked, so any remaining `'` is a
+/// lifetime and any remaining `"` is impossible.
+#[must_use]
+pub fn lex(code: &str) -> Vec<Token> {
+    let b = code.as_bytes();
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_digit() {
+            i += 1;
+            while i < b.len() {
+                if is_ident(b[i]) {
+                    i += 1;
+                } else if b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    // `1.5` continues the number; `1..2` and `1.max(2)`
+                    // end it at the dot.
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                start,
+                len: i - start,
+                line,
+                kind: TokenKind::Number,
+            });
+            continue;
+        }
+        if is_ident(c) && !c.is_ascii_digit() {
+            i += 1;
+            while i < b.len() && is_ident(b[i]) {
+                i += 1;
+            }
+            tokens.push(Token {
+                start,
+                len: i - start,
+                line,
+                kind: TokenKind::Ident,
+            });
+            continue;
+        }
+        if c == b'\'' && b.get(i + 1).copied().is_some_and(|n| is_ident(n) && !n.is_ascii_digit()) {
+            i += 1;
+            while i < b.len() && is_ident(b[i]) {
+                i += 1;
+            }
+            tokens.push(Token {
+                start,
+                len: i - start,
+                line,
+                kind: TokenKind::Lifetime,
+            });
+            continue;
+        }
+        tokens.push(Token {
+            start,
+            len: 1,
+            line,
+            kind: TokenKind::Punct,
+        });
+        i += 1;
+    }
+    tokens
+}
+
+/// Lexes a rule pattern like `".unwrap()"` or `"Ordering::Relaxed"`
+/// into its token texts, for sequence matching against a file's stream.
+#[must_use]
+pub fn pattern_tokens(pattern: &str) -> Vec<String> {
+    let toks = lex(pattern);
+    toks.iter().map(|t| t.text(pattern).to_string()).collect()
+}
+
+/// Byte-ordered indices of every place `pat` occurs as a consecutive
+/// token-text sequence in `tokens`.
+#[must_use]
+pub fn find_token_seq(code: &str, tokens: &[Token], pat: &[String]) -> Vec<usize> {
+    let mut hits = Vec::new();
+    if pat.is_empty() || tokens.len() < pat.len() {
+        return hits;
+    }
+    for start in 0..=(tokens.len() - pat.len()) {
+        if pat
+            .iter()
+            .enumerate()
+            .all(|(k, p)| tokens[start + k].text(code) == p)
+        {
+            hits.push(start);
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(code: &str) -> Vec<String> {
+        lex(code).iter().map(|t| t.text(code).to_string()).collect()
+    }
+
+    // ------------------------------------------------------------ views
+
+    #[test]
+    fn views_blank_comments_and_strings_from_code() {
+        let text = "let a = \"todo!()\"; // todo!()\nlet b = 1; /* x */";
+        let v = split_views(text);
+        assert!(!v.code.contains("todo"));
+        assert!(v.code.contains("let a ="));
+        assert!(v.code.contains("let b = 1;"));
+        assert_eq!(text.lines().count(), v.code.lines().count());
+    }
+
+    #[test]
+    fn comment_view_keeps_only_comments() {
+        let text = "let x = \"verus-check: allow(no-todo)\"; // real: allow(no-wallclock)\n";
+        let v = split_views(text);
+        assert!(!v.comments.contains("verus-check"), "string leaked: {}", v.comments);
+        assert!(v.comments.contains("// real: allow(no-wallclock)"));
+        assert!(!v.comments.contains("let x"));
+        assert_eq!(v.code.len(), v.comments.len(), "views must stay parallel");
+    }
+
+    #[test]
+    fn block_comments_nest_in_both_views() {
+        let text = "a(); /* outer /* inner */ still comment */ b();";
+        let v = split_views(text);
+        assert!(v.code.contains("a();"));
+        assert!(v.code.contains("b();"));
+        assert!(!v.code.contains("inner"));
+        assert!(v.comments.contains("inner"));
+        assert!(v.comments.contains("still comment"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked_with_hash_matching() {
+        let v = split_views("let s = r#\"panic! \"inner\" \"#; call();");
+        assert!(!v.code.contains("panic"));
+        assert!(v.code.contains("call();"));
+        let v = split_views("let s = br##\"x \"# y\"##; f();");
+        assert!(!v.code.contains('x'), "byte-raw contents must blank");
+        assert!(v.code.contains("f();"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let v = split_views("let c = 'x'; let nl = '\\n'; let q = '\\''; fn f<'a>(s: &'a str) {}");
+        assert!(!v.code.contains('x'));
+        assert!(v.code.contains("fn f<'a>"));
+        assert!(v.code.contains("&'a str"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let v = split_views("let s = \"a\\\"todo!()\\\"b\"; g();");
+        assert!(!v.code.contains("todo"));
+        assert!(v.code.contains("g();"));
+    }
+
+    // ------------------------------------------------------------ lexer
+
+    #[test]
+    fn idents_keywords_and_punct() {
+        assert_eq!(
+            texts("fn f() { v.pop().unwrap_or(0); }"),
+            ["fn", "f", "(", ")", "{", "v", ".", "pop", "(", ")", ".", "unwrap_or", "(", "0", ")", ";", "}"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_lex_as_single_tokens() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text("fn f<'a>(x: &'a str) -> &'static str { x }"))
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_method_calls() {
+        assert_eq!(texts("1..2"), ["1", ".", ".", "2"]);
+        assert_eq!(texts("1.5f64"), ["1.5f64"]);
+        assert_eq!(texts("1.max(2)"), ["1", ".", "max", "(", "2", ")"]);
+        assert_eq!(texts("0xFF_u64"), ["0xFF_u64"]);
+    }
+
+    #[test]
+    fn tokens_carry_lines_and_spans() {
+        let code = "a\n  bb\nccc";
+        let toks = lex(code);
+        assert_eq!(toks.len(), 3);
+        assert_eq!((toks[0].line, toks[1].line, toks[2].line), (1, 2, 3));
+        assert_eq!(toks[1].text(code), "bb");
+        assert_eq!((toks[1].start, toks[1].len), (4, 2));
+    }
+
+    #[test]
+    fn substring_identifiers_do_not_match_patterns() {
+        let code = "struct InstantaneousRate; fn f(x: MySystemTimeish) {}";
+        let toks = lex(code);
+        let pat = pattern_tokens("Instant");
+        assert!(find_token_seq(code, &toks, &pat).is_empty());
+    }
+
+    #[test]
+    fn token_sequences_match_across_whitespace() {
+        let code = "std::thread::sleep(d); x . unwrap ( ) ;";
+        let toks = lex(code);
+        assert_eq!(find_token_seq(code, &toks, &pattern_tokens("thread::sleep")).len(), 1);
+        assert_eq!(find_token_seq(code, &toks, &pattern_tokens(".unwrap()")).len(), 1);
+    }
+}

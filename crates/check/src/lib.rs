@@ -1,30 +1,48 @@
 //! `verus-check`: repo-specific static analysis for the Verus workspace.
 //!
-//! The scanner is deliberately textual — no syn, no proc-macro2, no
-//! dependencies at all — so it builds in offline environments before
-//! anything else in the workspace does. To keep the textual matching
-//! honest it first reduces every file to a *code view*: comments and
-//! string/char-literal contents are blanked out (newlines preserved), so
-//! a doc comment mentioning `unwrap()` never trips a rule.
+//! The scanner is deliberately dependency-free — no syn, no
+//! proc-macro2 — so it builds in offline environments before anything
+//! else in the workspace does. Since the determinism/concurrency pass
+//! it is token-level, not line-regex: every file is split into a *code
+//! view* and a *comment view* (see [`lexer`]), the code view is lexed
+//! into a span-carrying token stream, and rules from the declarative
+//! table in [`rules`] match token sequences. A doc comment mentioning
+//! `unwrap()` can never trip a rule, and `Instant` never matches inside
+//! `InstantaneousRate`.
 //!
-//! Rules (see `DESIGN.md` § "Invariants & static checks"):
+//! The rule table (severity `deny` unless noted; see `DESIGN.md` §8):
 //!
-//! | rule              | scope                                   | forbids |
-//! |-------------------|-----------------------------------------|---------|
-//! | `no-wallclock`    | deterministic crates (all targets)      | `Instant`, `SystemTime`, `thread::sleep` |
-//! | `no-ambient-clock`| `core`/`trace` (all targets)            | `Instant::now`, `SystemTime::now` (clocks are injected) |
-//! | `no-unwrap-in-lib`| `core`/`netsim` lib code, non-test      | `.unwrap()`, `.expect(`, `panic!` |
-//! | `no-print-in-lib` | lib code outside `bench`, non-test      | `println!`, `eprintln!`, `print!`, `eprint!` |
-//! | `nan-unsafe-cmp`  | everywhere                              | `partial_cmp(..).unwrap()/.expect()/.unwrap_or()` |
-//! | `no-todo`         | everywhere                              | `todo!`, `unimplemented!` |
-//! | `no-truncating-cast` | `netsim`/`transport` lib, non-test   | `as u8`/`as u16`/`as u32`/`as usize` (silent truncation of packet/byte counters) |
+//! | rule                | scope                                 | forbids |
+//! |---------------------|---------------------------------------|---------|
+//! | `no-wallclock`      | deterministic crates (all targets)    | `Instant`, `SystemTime`, `thread::sleep` |
+//! | `no-ambient-clock`  | `core`/`trace` (all targets)          | `Instant::now`, `SystemTime::now` (clocks are injected) |
+//! | `no-unwrap-in-lib`  | `core`/`netsim` lib code, non-test    | `.unwrap()`, `.expect(`, `panic!` |
+//! | `no-print-in-lib`   | lib code outside `bench`, non-test    | `println!`, `eprintln!`, `print!`, `eprint!` |
+//! | `nan-unsafe-cmp`    | everywhere                            | `partial_cmp(..).unwrap()/.expect()/.unwrap_or()` |
+//! | `no-todo`           | everywhere                            | `todo!`, `unimplemented!` |
+//! | `no-truncating-cast`| `netsim`/`transport` lib, non-test    | `as u8`/`as u16`/`as u32`/`as usize` |
+//! | `no-unordered-iteration` | deterministic crates (all targets) | `HashMap`, `HashSet` (per-process iteration order) |
+//! | `atomic-ordering-justified` | lib/bin everywhere, non-test  | `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` without a same-line `// ordering:` comment |
+//! | `no-thread-outside-transport` | lib/bin outside `transport`/`model` (+ `bench/src/parallel.rs`), non-test | `thread::spawn`, `thread::scope`, `thread::Builder` |
+//! | `no-shared-mut-static` | everywhere                         | `static mut` |
+//! | `stale-suppression` (warn) | everywhere                     | an `allow(...)` marker that no longer suppresses anything |
 //!
-//! A violation is silenced by a comment on the same line or the line
-//! above: `// verus-check: allow(<rule>)` — with a justification, please.
+//! A violation is silenced by an `allow(<rule>)` list spelled after the
+//! `verus-check:` marker in a comment on the same line or the line
+//! above — with a justification, please (the marker documents *why*,
+//! the list names *what*). Suppressions are parsed from the comment view only, and a
+//! suppression that stops matching any finding is itself reported
+//! (warn-level `stale-suppression`), so dead markers cannot accumulate.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::{find_token_seq, lex, pattern_tokens, split_views, Token, TokenKind, Views};
+pub use rules::{Matcher, Rule, Scope, Severity, RULESET, STALE_SUPPRESSION};
 
 /// Crates whose logic must stay deterministic: simulation time only, no
 /// wall clock. `transport` is the one crate allowed to touch real time.
@@ -34,6 +52,8 @@ pub const DETERMINISTIC_CRATES: &[&str] = [
 .as_slice();
 
 /// All rule names, for `--list-rules` and suppression validation.
+/// Matches [`RULESET`] order, plus the engine-synthesized
+/// [`STALE_SUPPRESSION`].
 pub const RULES: &[&str] = &[
     "no-wallclock",
     "no-ambient-clock",
@@ -42,6 +62,11 @@ pub const RULES: &[&str] = &[
     "nan-unsafe-cmp",
     "no-todo",
     "no-truncating-cast",
+    "no-unordered-iteration",
+    "atomic-ordering-justified",
+    "no-thread-outside-transport",
+    "no-shared-mut-static",
+    "stale-suppression",
 ];
 
 /// One finding, pointing at a file and 1-based line.
@@ -55,6 +80,9 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// Whether the finding fails the build (`deny`) or is advisory
+    /// (`warn`). Last field so the derived ordering stays path/line-major.
+    pub severity: Severity,
 }
 
 impl fmt::Display for Diagnostic {
@@ -121,10 +149,11 @@ pub fn classify(rel: &Path) -> FileInfo {
     FileInfo { crate_name, kind }
 }
 
-/// A source file reduced to scannable form.
-struct Source {
-    /// Code view: comments and literal contents blanked, newlines kept.
-    code: String,
+/// Everything the engine derives from one file's text: the two views,
+/// the token stream, suppression markers, and `#[cfg(test)]` line marks.
+struct FileContext {
+    views: Views,
+    tokens: Vec<Token>,
     /// Per (1-based) line: rules suppressed on that line.
     suppressions: BTreeMap<usize, Vec<String>>,
     /// Per (1-based) line: whether the line sits inside a `#[cfg(test)]`
@@ -132,22 +161,26 @@ struct Source {
     in_test: Vec<bool>,
 }
 
-impl Source {
+impl FileContext {
     fn new(text: &str) -> Self {
-        let code = code_view(text);
+        let views = split_views(text);
+        let tokens = lex(&views.code);
         let lines = text.lines().count().max(1);
-        let suppressions = collect_suppressions(text);
-        let in_test = mark_cfg_test_lines(&code, lines);
+        let suppressions = collect_suppressions(&views.comments);
+        let in_test = mark_cfg_test_lines(&views.code, lines);
         Self {
-            code,
+            views,
+            tokens,
             suppressions,
             in_test,
         }
     }
 
-    fn suppressed(&self, rule: &str, line: usize) -> bool {
-        // A suppression covers its own line and the line below it, so
-        // both trailing and preceding-line comments work.
+    /// Suppression lines (the marker's own line) that cover `rule` at
+    /// `line` — a marker covers its own line and the line below it, so
+    /// both trailing and preceding-line comments work.
+    fn suppressors(&self, rule: &str, line: usize) -> Vec<usize> {
+        let mut out = Vec::new();
         for l in [line, line.saturating_sub(1)] {
             if l > 0
                 && self
@@ -155,157 +188,33 @@ impl Source {
                     .get(&l)
                     .is_some_and(|rs| rs.iter().any(|r| r == rule))
             {
-                return true;
+                out.push(l);
             }
         }
-        false
+        out
     }
 
     fn line_in_test(&self, line: usize) -> bool {
         line >= 1 && self.in_test.get(line - 1).copied().unwrap_or(false)
     }
-}
 
-fn is_ident(c: u8) -> bool {
-    c.is_ascii_alphanumeric() || c == b'_'
-}
-
-/// Blanks comments and string/char-literal contents, preserving newlines
-/// so byte offsets map to the same lines as the original text.
-fn code_view(text: &str) -> String {
-    let b = text.as_bytes();
-    let mut out = Vec::with_capacity(b.len());
-    let mut i = 0;
-    let blank = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
-    while i < b.len() {
-        let c = b[i];
-        // Line comment.
-        if c == b'/' && b.get(i + 1) == Some(&b'/') {
-            while i < b.len() && b[i] != b'\n' {
-                out.push(b' ');
-                i += 1;
-            }
-            continue;
-        }
-        // Block comment (nesting).
-        if c == b'/' && b.get(i + 1) == Some(&b'*') {
-            let mut depth = 0usize;
-            while i < b.len() {
-                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
-                    depth += 1;
-                    out.push(b' ');
-                    out.push(b' ');
-                    i += 2;
-                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
-                    depth -= 1;
-                    out.push(b' ');
-                    out.push(b' ');
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Raw string: optional `b`, `r`, hashes, quote.
-        if (c == b'r' || c == b'b') && (i == 0 || !is_ident(b[i - 1])) {
-            let mut j = i;
-            if b[j] == b'b' {
-                j += 1;
-            }
-            if j < b.len() && b[j] == b'r' {
-                j += 1;
-                let mut hashes = 0usize;
-                while b.get(j) == Some(&b'#') {
-                    hashes += 1;
-                    j += 1;
-                }
-                if b.get(j) == Some(&b'"') {
-                    j += 1;
-                    // Scan to closing quote + same number of hashes.
-                    'raw: while j < b.len() {
-                        if b[j] == b'"' {
-                            let mut k = 0usize;
-                            while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
-                                k += 1;
-                            }
-                            if k == hashes {
-                                j += 1 + hashes;
-                                break 'raw;
-                            }
-                        }
-                        j += 1;
-                    }
-                    for idx in i..j.min(b.len()) {
-                        out.push(blank(b[idx]));
-                    }
-                    i = j;
-                    continue;
-                }
-            }
-        }
-        // Normal string (including `b"..."` handled above only when raw).
-        if c == b'"' {
-            out.push(b' ');
-            i += 1;
-            while i < b.len() {
-                if b[i] == b'\\' {
-                    out.push(b' ');
-                    out.push(b' ');
-                    i += 2;
-                } else if b[i] == b'"' {
-                    out.push(b' ');
-                    i += 1;
-                    break;
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        // Char literal vs lifetime.
-        if c == b'\'' {
-            let next = b.get(i + 1).copied();
-            let is_char = match next {
-                Some(b'\\') => true,
-                Some(_) => b.get(i + 2) == Some(&b'\''),
-                None => false,
-            };
-            if is_char {
-                out.push(b' ');
-                i += 1;
-                while i < b.len() {
-                    if b[i] == b'\\' {
-                        out.push(b' ');
-                        out.push(b' ');
-                        i += 2;
-                    } else if b[i] == b'\'' {
-                        out.push(b' ');
-                        i += 1;
-                        break;
-                    } else {
-                        out.push(blank(b[i]));
-                        i += 1;
-                    }
-                }
-                continue;
-            }
-        }
-        out.push(c);
-        i += 1;
+    /// Whether the comment view of `line` contains `needle` — the
+    /// same-line justification check for `PatternsUnlessComment`.
+    fn comment_on_line_contains(&self, line: usize, needle: &str) -> bool {
+        self.views
+            .comments
+            .lines()
+            .nth(line.saturating_sub(1))
+            .is_some_and(|l| l.contains(needle))
     }
-    String::from_utf8_lossy(&out).into_owned()
 }
 
-/// Parses `// verus-check: allow(rule-a, rule-b)` markers from raw text.
-fn collect_suppressions(text: &str) -> BTreeMap<usize, Vec<String>> {
+/// Parses `allow(rule-a, rule-b)` lists spelled after a `verus-check:`
+/// marker. Must be fed the *comment view*, so markers inside string
+/// literals never count.
+fn collect_suppressions(comments: &str) -> BTreeMap<usize, Vec<String>> {
     let mut map: BTreeMap<usize, Vec<String>> = BTreeMap::new();
-    for (idx, raw) in text.lines().enumerate() {
+    for (idx, raw) in comments.lines().enumerate() {
         let Some(pos) = raw.find("verus-check:") else {
             continue;
         };
@@ -387,240 +296,223 @@ fn line_of(text: &str, at: usize) -> usize {
         + 1
 }
 
-/// Finds word-boundary occurrences of `needle` in `hay` (byte offsets).
-fn word_hits(hay: &str, needle: &str) -> Vec<usize> {
-    let hb = hay.as_bytes();
-    let first_ident = needle.as_bytes().first().map_or(false, |&c| is_ident(c));
-    let last_ident = needle.as_bytes().last().map_or(false, |&c| is_ident(c));
-    let mut hits = Vec::new();
-    let mut from = 0usize;
-    while let Some(rel) = hay[from..].find(needle) {
-        let at = from + rel;
-        from = at + 1;
-        if first_ident && at > 0 && is_ident(hb[at - 1]) {
-            continue;
-        }
-        let end = at + needle.len();
-        if last_ident && end < hb.len() && is_ident(hb[end]) {
-            continue;
-        }
-        hits.push(at);
+/// Whether `rule` scans this file at all (scope × target kind × per-file
+/// exemptions). Line-level concerns (`cfg(test)`, suppressions) are
+/// handled per hit.
+fn rule_applies(rule: &Rule, info: &FileInfo, rel: &Path) -> bool {
+    let rel_str = rel.to_string_lossy();
+    if rule.exempt_files.iter().any(|f| rel_str == *f) {
+        return false;
     }
+    let in_crates = |list: &[&str]| {
+        info.crate_name
+            .as_deref()
+            .is_some_and(|c| list.contains(&c))
+    };
+    let scope_ok = match rule.scope {
+        Scope::Everywhere => true,
+        Scope::Deterministic => in_crates(DETERMINISTIC_CRATES),
+        Scope::Crates(list) => in_crates(list),
+        Scope::NotCrates(list) => !in_crates(list),
+    };
+    scope_ok && (rule.targets.is_empty() || rule.targets.contains(&info.kind))
+}
+
+/// One raw matcher hit, before line-level filtering.
+struct Hit {
+    /// Byte offset of the first matched token (for ordering).
+    at: usize,
+    /// 1-based line of the first matched token.
+    line: usize,
+    /// What matched, as passed to the rule's message function.
+    matched: String,
+}
+
+/// Runs a rule's matcher over the token stream; hits come back in byte
+/// order regardless of which pattern produced them.
+fn matcher_hits(rule: &Rule, ctx: &FileContext) -> Vec<Hit> {
+    let code = &ctx.views.code;
+    let mut hits = Vec::new();
+    match rule.matcher {
+        Matcher::Patterns(patterns) => {
+            for pat in patterns {
+                let toks = pattern_tokens(pat);
+                for idx in find_token_seq(code, &ctx.tokens, &toks) {
+                    let t = ctx.tokens[idx];
+                    hits.push(Hit {
+                        at: t.start,
+                        line: t.line,
+                        matched: (*pat).to_string(),
+                    });
+                }
+            }
+        }
+        Matcher::PatternsUnlessComment { patterns, comment } => {
+            for pat in patterns {
+                let toks = pattern_tokens(pat);
+                for idx in find_token_seq(code, &ctx.tokens, &toks) {
+                    let t = ctx.tokens[idx];
+                    if ctx.comment_on_line_contains(t.line, comment) {
+                        continue;
+                    }
+                    hits.push(Hit {
+                        at: t.start,
+                        line: t.line,
+                        matched: (*pat).to_string(),
+                    });
+                }
+            }
+        }
+        Matcher::NanUnsafeCmp => {
+            hits.extend(nan_unsafe_hits(code, &ctx.tokens));
+        }
+    }
+    hits.sort_by_key(|h| h.at);
     hits
+}
+
+/// Finds `partial_cmp(..).unwrap()/.expect(/.unwrap_or(` chains in the
+/// token stream (trait *definitions* — `fn partial_cmp` — are skipped).
+fn nan_unsafe_hits(code: &str, tokens: &[Token]) -> Vec<Hit> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text(code) != "partial_cmp" {
+            continue;
+        }
+        if i > 0 && tokens[i - 1].text(code) == "fn" {
+            continue; // trait impl definition
+        }
+        if tokens.get(i + 1).map(|t| t.text(code)) != Some("(") {
+            continue; // method reference, not a call
+        }
+        // Match the call's parens at token level.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            match tokens[j].text(code) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= tokens.len() {
+            continue; // unbalanced; give up on this site
+        }
+        let text_at = |k: usize| tokens.get(k).map(|t| t.text(code));
+        if text_at(j + 1) != Some(".") {
+            continue;
+        }
+        let bad = match (text_at(j + 2), text_at(j + 3), text_at(j + 4)) {
+            (Some("unwrap"), Some("("), Some(")")) => ".unwrap()",
+            (Some("expect"), Some("("), _) => ".expect(",
+            (Some("unwrap_or"), Some("("), _) => ".unwrap_or(",
+            _ => continue,
+        };
+        out.push(Hit {
+            at: t.start,
+            line: t.line,
+            matched: bad.to_string(),
+        });
+    }
+    out
+}
+
+/// The full result of scanning one file: rule findings plus warn-level
+/// stale-suppression diagnostics. [`scan_source`] returns only the
+/// findings (the historical API); `run_workspace` reports both.
+pub struct FileReport {
+    /// Rule findings (deny-level).
+    pub diagnostics: Vec<Diagnostic>,
+    /// `stale-suppression` warnings: `allow(...)` markers that
+    /// suppressed nothing.
+    pub stale: Vec<Diagnostic>,
 }
 
 /// Scans one file's text; `rel` is its workspace-relative path.
 #[must_use]
-pub fn scan_source(rel: &Path, text: &str) -> Vec<Diagnostic> {
+pub fn scan_file(rel: &Path, text: &str) -> FileReport {
     let info = classify(rel);
-    let src = Source::new(text);
-    let mut out = Vec::new();
+    let ctx = FileContext::new(text);
+    let crate_name = info.crate_name.clone().unwrap_or_else(|| "?".to_string());
 
-    let mut push = |src: &Source, rule: &'static str, line: usize, message: String| {
-        if !src.suppressed(rule, line) {
-            out.push(Diagnostic {
+    let mut diagnostics = Vec::new();
+    // (marker line, rule) pairs that actually suppressed a finding.
+    let mut used: BTreeSet<(usize, &str)> = BTreeSet::new();
+
+    for rule in RULESET {
+        if !rule_applies(rule, &info, rel) {
+            continue;
+        }
+        for hit in matcher_hits(rule, &ctx) {
+            if rule.skip_cfg_test && ctx.line_in_test(hit.line) {
+                continue;
+            }
+            let suppressors = ctx.suppressors(rule.name, hit.line);
+            if !suppressors.is_empty() {
+                for l in suppressors {
+                    used.insert((l, rule.name));
+                }
+                continue;
+            }
+            diagnostics.push(Diagnostic {
                 path: rel.to_path_buf(),
-                line,
-                rule,
-                message,
+                line: hit.line,
+                rule: rule.name,
+                message: (rule.message)(&hit.matched, &crate_name),
+                severity: rule.severity,
             });
         }
-    };
+    }
 
-    let is_deterministic = info
-        .crate_name
-        .as_deref()
-        .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
-    if is_deterministic {
-        for needle in ["Instant", "SystemTime", "thread::sleep"] {
-            for at in word_hits(&src.code, needle) {
-                push(
-                    &src,
-                    "no-wallclock",
-                    line_of(&src.code, at),
-                    format!(
-                        "`{needle}` in deterministic crate `{}`; use SimTime/SimDuration \
-                         (only `transport` may touch the wall clock)",
-                        info.crate_name.as_deref().unwrap_or("?")
-                    ),
-                );
+    // Stale pass: every collected marker must have suppressed something.
+    let mut stale = Vec::new();
+    for (&line, rules) in &ctx.suppressions {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for r in rules {
+            if !seen.insert(r.as_str()) || used.contains(&(line, r.as_str())) {
+                continue;
             }
+            let message = if RULES.contains(&r.as_str()) {
+                format!(
+                    "suppression `allow({r})` no longer matches any finding on \
+                     this or the next line; delete it"
+                )
+            } else {
+                format!(
+                    "suppression `allow({r})` names an unknown rule \
+                     (see --list-rules); delete or fix it"
+                )
+            };
+            stale.push(Diagnostic {
+                path: rel.to_path_buf(),
+                line,
+                rule: STALE_SUPPRESSION,
+                message,
+                severity: Severity::Warn,
+            });
         }
     }
 
-    // Clocks are *injected* in the algorithm and telemetry crates: the
-    // controller receives `now` from whichever substrate drives it, and
-    // `verus-trace` records carry caller-supplied timestamps. Reading an
-    // ambient clock there would fork sim-time and wall-time traces and
-    // break replay determinism. (`core` is also a deterministic crate,
-    // so a violation there additionally trips `no-wallclock`; `trace`
-    // is deliberately covered by this rule alone.)
-    let ambient_clock_scope = info
-        .crate_name
-        .as_deref()
-        .is_some_and(|c| c == "core" || c == "trace");
-    if ambient_clock_scope {
-        for needle in ["Instant::now", "SystemTime::now"] {
-            for at in word_hits(&src.code, needle) {
-                push(
-                    &src,
-                    "no-ambient-clock",
-                    line_of(&src.code, at),
-                    format!(
-                        "`{needle}()` in `{}`: clocks are injected here — take the \
-                         timestamp as a parameter instead of reading the ambient clock",
-                        info.crate_name.as_deref().unwrap_or("?")
-                    ),
-                );
-            }
-        }
-    }
-
-    let unwrap_scope = info
-        .crate_name
-        .as_deref()
-        .is_some_and(|c| c == "core" || c == "netsim")
-        && info.kind == TargetKind::Lib;
-    if unwrap_scope {
-        for needle in [".unwrap()", ".expect(", "panic!"] {
-            for at in word_hits(&src.code, needle) {
-                let line = line_of(&src.code, at);
-                if src.line_in_test(line) {
-                    continue;
-                }
-                push(
-                    &src,
-                    "no-unwrap-in-lib",
-                    line,
-                    format!(
-                        "`{needle}` in `{}` library code; return an error or restructure \
-                         so the state is impossible",
-                        info.crate_name.as_deref().unwrap_or("?")
-                    ),
-                );
-            }
-        }
-    }
-
-    let print_scope =
-        info.kind == TargetKind::Lib && info.crate_name.as_deref() != Some("bench");
-    if print_scope {
-        for needle in ["println!", "eprintln!", "print!", "eprint!"] {
-            for at in word_hits(&src.code, needle) {
-                let line = line_of(&src.code, at);
-                if src.line_in_test(line) {
-                    continue;
-                }
-                push(
-                    &src,
-                    "no-print-in-lib",
-                    line,
-                    format!("`{needle}` in library code; emit data, not console output"),
-                );
-            }
-        }
-    }
-
-    for at in word_hits(&src.code, "partial_cmp") {
-        if let Some(msg) = nan_unsafe_at(&src.code, at) {
-            push(&src, "nan-unsafe-cmp", line_of(&src.code, at), msg);
-        }
-    }
-
-    for needle in ["todo!", "unimplemented!"] {
-        for at in word_hits(&src.code, needle) {
-            push(
-                &src,
-                "no-todo",
-                line_of(&src.code, at),
-                format!("`{needle}` must not land on main"),
-            );
-        }
-    }
-
-    // Packet and byte counters in the two packet-handling crates are
-    // u64; a narrowing `as` cast silently truncates after 4 GiB / 2³²
-    // packets and corrupts the conservation ledger. `usize` is included
-    // because it is 32-bit on some targets.
-    let cast_scope = info
-        .crate_name
-        .as_deref()
-        .is_some_and(|c| c == "netsim" || c == "transport")
-        && info.kind == TargetKind::Lib;
-    if cast_scope {
-        for needle in ["as u8", "as u16", "as u32", "as usize"] {
-            for at in word_hits(&src.code, needle) {
-                let line = line_of(&src.code, at);
-                if src.line_in_test(line) {
-                    continue;
-                }
-                push(
-                    &src,
-                    "no-truncating-cast",
-                    line,
-                    format!(
-                        "`{needle}` in `{}` packet-handling code can silently truncate \
-                         a counter; use `::try_from` and handle the error",
-                        info.crate_name.as_deref().unwrap_or("?")
-                    ),
-                );
-            }
-        }
-    }
-
-    out
+    FileReport { diagnostics, stale }
 }
 
-/// If the `partial_cmp` at byte `at` is followed (possibly across lines)
-/// by `.unwrap()`, `.expect(`, or `.unwrap_or(`, returns the message.
-fn nan_unsafe_at(code: &str, at: usize) -> Option<String> {
-    let b = code.as_bytes();
-    // Skip trait impl definitions: `fn partial_cmp(...)`.
-    let before = code[..at].trim_end();
-    if before.ends_with("fn") {
-        return None;
-    }
-    let mut i = at + "partial_cmp".len();
-    while i < b.len() && b[i].is_ascii_whitespace() {
-        i += 1;
-    }
-    if b.get(i) != Some(&b'(') {
-        return None; // method reference, not a call
-    }
-    let mut depth = 0usize;
-    while i < b.len() {
-        match b[i] {
-            b'(' => depth += 1,
-            b')' => {
-                depth -= 1;
-                if depth == 0 {
-                    i += 1;
-                    break;
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    while i < b.len() && b[i].is_ascii_whitespace() {
-        i += 1;
-    }
-    let tail = &code[i.min(code.len())..];
-    for bad in [".unwrap()", ".expect(", ".unwrap_or("] {
-        if tail.starts_with(bad) {
-            return Some(format!(
-                "`partial_cmp(..){bad}..` is NaN-unsafe; use `f64::total_cmp` \
-                 (or handle the None arm explicitly)"
-            ));
-        }
-    }
-    None
+/// Scans one file and returns the rule findings only (no stale-marker
+/// warnings) — the stable API the seeded-violation tests use.
+#[must_use]
+pub fn scan_source(rel: &Path, text: &str) -> Vec<Diagnostic> {
+    scan_file(rel, text).diagnostics
 }
 
 /// Recursively walks `root` and scans every `.rs` file.
 ///
-/// Skips `target/`, hidden directories, and anything that is not Rust
-/// source. Returns diagnostics sorted by path then line.
+/// Skips `target/` and hidden directories. Returns findings *and*
+/// stale-suppression warnings, sorted by path then line.
 pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
@@ -628,7 +520,9 @@ pub fn run_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     let mut out = Vec::new();
     for rel in files {
         let text = std::fs::read_to_string(root.join(&rel))?;
-        out.extend(scan_source(&rel, &text));
+        let report = scan_file(&rel, &text);
+        out.extend(report.diagnostics);
+        out.extend(report.stale);
     }
     out.sort();
     Ok(out)
@@ -654,31 +548,70 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io:
     Ok(())
 }
 
+/// Renders diagnostics as the machine-readable report `ci.sh` validates
+/// with jq: counts per severity plus one object per diagnostic. Entirely
+/// hand-rolled (the scanner stays dependency-free).
+#[must_use]
+pub fn diagnostics_json(root: &Path, diags: &[Diagnostic]) -> String {
+    let deny = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+    let warn = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warn)
+        .count();
+    let mut s = String::from("{\"tool\":\"verus-check\",\"version\":2,\"root\":");
+    s.push_str(&json_string(&root.display().to_string()));
+    s.push_str(&format!(
+        ",\"counts\":{{\"deny\":{deny},\"warn\":{warn}}},\"diagnostics\":["
+    ));
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"path\":");
+        s.push_str(&json_string(&d.path.display().to_string()));
+        s.push_str(&format!(",\"line\":{},\"rule\":", d.line));
+        s.push_str(&json_string(d.rule));
+        s.push_str(",\"severity\":");
+        s.push_str(&json_string(d.severity.as_str()));
+        s.push_str(",\"message\":");
+        s.push_str(&json_string(&d.message));
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn code_view_blanks_comments_and_strings() {
-        let text = "let a = \"todo!()\"; // todo!()\nlet b = 1; /* x */";
-        let cv = code_view(text);
-        assert!(!cv.contains("todo"));
-        assert!(cv.contains("let a ="));
-        assert!(cv.contains("let b = 1;"));
-        assert_eq!(text.lines().count(), cv.lines().count());
-    }
-
-    #[test]
-    fn lifetimes_are_not_char_literals() {
-        let cv = code_view("fn f<'a>(x: &'a str) -> &'a str { x }");
-        assert!(cv.contains("fn f<'a>"));
-    }
-
-    #[test]
-    fn raw_strings_are_blanked() {
-        let cv = code_view("let s = r#\"panic! \"inner\" \"#; call();");
-        assert!(!cv.contains("panic"));
-        assert!(cv.contains("call();"));
+    fn rules_const_matches_ruleset() {
+        let mut names: Vec<&str> = RULESET.iter().map(|r| r.name).collect();
+        names.push(STALE_SUPPRESSION);
+        assert_eq!(RULES, names.as_slice(), "RULES must mirror the rule table");
     }
 
     #[test]
@@ -703,20 +636,43 @@ mod tests {
     #[test]
     fn cfg_test_region_is_marked() {
         let text = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
-        let src = Source::new(text);
-        assert!(!src.line_in_test(1));
-        assert!(src.line_in_test(2));
-        assert!(src.line_in_test(4));
-        assert!(!src.line_in_test(6));
+        let ctx = FileContext::new(text);
+        assert!(!ctx.line_in_test(1));
+        assert!(ctx.line_in_test(2));
+        assert!(ctx.line_in_test(4));
+        assert!(!ctx.line_in_test(6));
     }
 
     #[test]
     fn suppression_parses_multiple_rules() {
-        let map = collect_suppressions("x(); // verus-check: allow(no-todo, no-wallclock)\n");
+        let ctx = FileContext::new("x(); // verus-check: allow(no-todo, no-wallclock)\n");
         assert_eq!(
-            map.get(&1).map(Vec::len),
+            ctx.suppressions.get(&1).map(Vec::len),
             Some(2),
             "both rules should be recorded"
         );
+    }
+
+    #[test]
+    fn suppression_inside_string_literal_is_not_collected() {
+        let ctx =
+            FileContext::new("let t = \"x // verus-check: allow(no-todo)\";\nfn f() {}\n");
+        assert!(ctx.suppressions.is_empty(), "{:?}", ctx.suppressions);
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let diags = vec![Diagnostic {
+            path: PathBuf::from("crates/core/src/a.rs"),
+            line: 3,
+            rule: "no-todo",
+            message: "`todo!` with \"quotes\" and a\nnewline".to_string(),
+            severity: Severity::Deny,
+        }];
+        let json = diagnostics_json(Path::new("/tmp/ws"), &diags);
+        assert!(json.contains("\"counts\":{\"deny\":1,\"warn\":0}"), "{json}");
+        assert!(json.contains("\\\"quotes\\\""), "{json}");
+        assert!(json.contains("\\n"), "{json}");
+        assert!(!json.contains('\n'), "raw newline leaked: {json}");
     }
 }

@@ -1,16 +1,22 @@
 //! CLI for the workspace static-analysis pass.
 //!
 //! ```text
-//! cargo run -p verus-check            # scan the workspace, exit 1 on findings
+//! cargo run -p verus-check              # scan the workspace, exit 1 on deny findings
+//! cargo run -p verus-check -- --json    # machine-readable report (for ci.sh + jq)
 //! cargo run -p verus-check -- --list-rules
 //! cargo run -p verus-check -- path/to/root
 //! ```
+//!
+//! Exit codes: 0 clean (warnings allowed), 1 at least one deny-level
+//! finding, 2 i/o error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use verus_check::Severity;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--list-rules" => {
@@ -19,10 +25,12 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: verus-check [--list-rules] [ROOT]");
+                println!("usage: verus-check [--list-rules] [--json] [ROOT]");
                 println!("Scans every .rs file under ROOT (default: the workspace)");
                 println!("and reports violations of the repo lint rules.");
+                println!("--json emits a machine-readable report on stdout.");
                 return ExitCode::SUCCESS;
             }
             other => root = Some(PathBuf::from(other)),
@@ -31,16 +39,24 @@ fn main() -> ExitCode {
     let root = root.unwrap_or_else(workspace_root);
 
     match verus_check::run_workspace(&root) {
-        Ok(diags) if diags.is_empty() => {
-            println!("verus-check: clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
         Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
+            let deny = diags.iter().filter(|d| d.severity == Severity::Deny).count();
+            let warn = diags.len() - deny;
+            if json {
+                println!("{}", verus_check::diagnostics_json(&root, &diags));
+            } else if diags.is_empty() {
+                println!("verus-check: clean ({})", root.display());
+            } else {
+                for d in &diags {
+                    println!("{d}");
+                }
+                println!("verus-check: {deny} violation(s), {warn} warning(s)");
             }
-            println!("verus-check: {} violation(s)", diags.len());
-            ExitCode::FAILURE
+            if deny > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             eprintln!("verus-check: i/o error: {e}");

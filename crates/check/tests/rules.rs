@@ -319,6 +319,252 @@ fn allow_list_suppresses_multiple_rules() {
     assert!(scan("crates/stats/src/foo.rs", text).is_empty());
 }
 
+// ---------------------------------------------------- no-unordered-iteration
+
+#[test]
+fn hashmap_fires_in_deterministic_crate() {
+    let d = scan(
+        "crates/core/src/foo.rs",
+        "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n",
+    );
+    assert_eq!(
+        rules(&d),
+        ["no-unordered-iteration", "no-unordered-iteration", "no-unordered-iteration"]
+    );
+    assert_eq!(d[0].line, 1);
+}
+
+#[test]
+fn hashset_fires_even_in_tests_of_deterministic_crates() {
+    // Arbitrary iteration order hides flaky assertions, so tests are in
+    // scope too — this is the shape of the live finding the rule was
+    // introduced to catch (cellular's predictor-name test).
+    let d = scan(
+        "crates/cellular/tests/t.rs",
+        "fn f() { let s: std::collections::HashSet<u32> = Default::default(); }\n",
+    );
+    assert_eq!(rules(&d), ["no-unordered-iteration"]);
+}
+
+#[test]
+fn btree_collections_are_clean() {
+    let d = scan(
+        "crates/cellular/src/foo.rs",
+        "use std::collections::{BTreeMap, BTreeSet};\nfn f(m: BTreeMap<u32, u32>) {}\n",
+    );
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn hashmap_allowed_outside_deterministic_crates() {
+    assert!(scan(
+        "crates/transport/src/foo.rs",
+        "use std::collections::HashMap;\n"
+    )
+    .is_empty());
+    assert!(scan("crates/bench/src/output.rs", "fn f(m: HashMap<u32, u32>) {}\n").is_empty());
+}
+
+#[test]
+fn unordered_iteration_suppression_works() {
+    let text = "// lookup only, never iterated — verus-check: allow(no-unordered-iteration)\nfn f(m: HashMap<u32, u32>) {}\n";
+    assert!(scan("crates/core/src/foo.rs", text).is_empty());
+}
+
+// ------------------------------------------------- atomic-ordering-justified
+
+#[test]
+fn unjustified_relaxed_fires_in_lib_and_bin() {
+    let d = scan(
+        "crates/transport/src/foo.rs",
+        "fn f(x: &AtomicU64) { x.store(1, Ordering::Relaxed); }\n",
+    );
+    assert_eq!(rules(&d), ["atomic-ordering-justified"]);
+    let d = scan(
+        "crates/bench/src/bin/fig.rs",
+        "fn f(x: &AtomicBool) -> bool { x.load(Ordering::Acquire) }\n",
+    );
+    assert_eq!(rules(&d), ["atomic-ordering-justified"]);
+}
+
+#[test]
+fn same_line_ordering_comment_justifies() {
+    let text = "fn f(x: &AtomicU64) { x.fetch_add(1, Ordering::Relaxed); } // ordering: monotonic stat counter\n";
+    assert!(scan("crates/transport/src/foo.rs", text).is_empty());
+}
+
+#[test]
+fn ordering_comment_on_another_line_does_not_justify() {
+    // The justification must sit on the line of the access itself —
+    // that is what keeps it attached through refactors.
+    let text = "// ordering: stat counter\nfn f(x: &AtomicU64) { x.fetch_add(1, Ordering::Relaxed); }\n";
+    let d = scan("crates/transport/src/foo.rs", text);
+    assert_eq!(rules(&d), ["atomic-ordering-justified"]);
+}
+
+#[test]
+fn every_atomic_ordering_variant_is_audited() {
+    for variant in ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"] {
+        let text = format!("fn f(x: &AtomicU64) {{ x.store(1, Ordering::{variant}); }}\n");
+        let d = scan("crates/transport/src/foo.rs", &text);
+        assert_eq!(rules(&d), ["atomic-ordering-justified"], "{variant}");
+    }
+}
+
+#[test]
+fn cmp_ordering_variants_are_not_atomic_sites() {
+    let d = scan(
+        "crates/transport/src/foo.rs",
+        "fn f() -> Ordering { Ordering::Equal.then(Ordering::Less) }\n",
+    );
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn atomics_in_tests_are_out_of_scope() {
+    assert!(scan(
+        "crates/transport/tests/t.rs",
+        "fn f(x: &AtomicU64) { x.store(1, Ordering::Relaxed); }\n"
+    )
+    .is_empty());
+    let in_test_mod = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t(x: &AtomicU64) { x.store(1, Ordering::SeqCst); }\n}\n";
+    assert!(scan("crates/transport/src/foo.rs", in_test_mod).is_empty());
+}
+
+#[test]
+fn atomic_ordering_suppression_works() {
+    let text = "fn f(x: &AtomicU64) { x.store(1, Ordering::SeqCst); } // verus-check: allow(atomic-ordering-justified)\n";
+    assert!(scan("crates/transport/src/foo.rs", text).is_empty());
+}
+
+// ---------------------------------------------- no-thread-outside-transport
+
+#[test]
+fn thread_spawn_fires_outside_transport() {
+    let d = scan(
+        "crates/core/src/foo.rs",
+        "fn f() { std::thread::spawn(|| {}); }\n",
+    );
+    assert_eq!(rules(&d), ["no-thread-outside-transport"]);
+    let d = scan(
+        "crates/netsim/src/foo.rs",
+        "fn f() { std::thread::scope(|s| {}); }\n",
+    );
+    assert_eq!(rules(&d), ["no-thread-outside-transport"]);
+    let d = scan(
+        "crates/trace/src/foo.rs",
+        "fn f() { std::thread::Builder::new(); }\n",
+    );
+    assert_eq!(rules(&d), ["no-thread-outside-transport"]);
+}
+
+#[test]
+fn threads_allowed_in_transport_model_and_parallel_runner() {
+    let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+    assert!(scan("crates/transport/src/emulator.rs", spawn).is_empty());
+    assert!(scan("crates/model/src/scheduler.rs", spawn).is_empty());
+    assert!(scan("crates/bench/src/parallel.rs", spawn).is_empty());
+}
+
+#[test]
+fn threads_in_tests_are_out_of_scope() {
+    // Test targets may spin helper threads (e.g. the loom-style model
+    // harnesses drive verus-model, whose API shape includes
+    // `thread::spawn`); lib/bin code is where confinement matters.
+    assert!(scan("crates/core/tests/t.rs", "fn f() { std::thread::spawn(|| {}); }\n").is_empty());
+}
+
+#[test]
+fn thread_rule_suppression_works() {
+    let text = "fn f() { std::thread::spawn(|| {}); } // verus-check: allow(no-thread-outside-transport)\n";
+    assert!(scan("crates/core/src/foo.rs", text).is_empty());
+}
+
+// -------------------------------------------------------- no-shared-mut-static
+
+#[test]
+fn static_mut_fires_anywhere() {
+    let d = scan("crates/bench/src/output.rs", "static mut COUNTER: u64 = 0;\n");
+    assert_eq!(rules(&d), ["no-shared-mut-static"]);
+    let d = scan("crates/core/tests/t.rs", "static mut FLAG: bool = false;\n");
+    assert_eq!(rules(&d), ["no-shared-mut-static"]);
+}
+
+#[test]
+fn immutable_and_thread_local_statics_are_clean() {
+    let text = "static N: u64 = 3;\nstatic S: AtomicU64 = AtomicU64::new(0);\nthread_local! { static T: Cell<u64> = Cell::new(0); }\n";
+    assert!(scan("crates/bench/src/output.rs", text).is_empty());
+}
+
+// ------------------------------------------------------------------ severity
+
+#[test]
+fn rule_findings_are_deny_level() {
+    let d = scan("crates/core/src/foo.rs", "fn f() { todo!() }\n");
+    assert_eq!(d[0].severity, verus_check::Severity::Deny);
+}
+
+// ---------------------------------------------------------- stale-suppression
+
+#[test]
+fn unused_allow_marker_is_reported_stale() {
+    let report = verus_check::scan_file(
+        Path::new("crates/core/src/foo.rs"),
+        "fn f() { v.pop().unwrap_or(0); } // verus-check: allow(no-unwrap-in-lib)\n",
+    );
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert_eq!(report.stale.len(), 1, "{:?}", report.stale);
+    assert_eq!(report.stale[0].rule, "stale-suppression");
+    assert_eq!(report.stale[0].severity, verus_check::Severity::Warn);
+    assert_eq!(report.stale[0].line, 1);
+}
+
+#[test]
+fn used_allow_marker_is_not_stale() {
+    let report = verus_check::scan_file(
+        Path::new("crates/core/src/foo.rs"),
+        "fn f() { v.pop().unwrap(); } // verus-check: allow(no-unwrap-in-lib)\n",
+    );
+    assert!(report.diagnostics.is_empty());
+    assert!(report.stale.is_empty(), "{:?}", report.stale);
+}
+
+#[test]
+fn allow_of_unknown_rule_is_reported() {
+    let report = verus_check::scan_file(
+        Path::new("crates/core/src/foo.rs"),
+        "fn f() {} // verus-check: allow(no-such-rule)\n",
+    );
+    assert_eq!(report.stale.len(), 1);
+    assert!(
+        report.stale[0].message.contains("unknown rule"),
+        "{}",
+        report.stale[0].message
+    );
+}
+
+#[test]
+fn marker_inside_string_literal_is_not_a_suppression_nor_stale() {
+    // The seeded fixtures in this very file rely on this: an allow list
+    // spelled inside a string literal is invisible to the engine.
+    let report = verus_check::scan_file(
+        Path::new("crates/core/src/foo.rs"),
+        "fn f() { let s = \"x // verus-check: allow(no-todo)\"; }\n",
+    );
+    assert!(report.diagnostics.is_empty());
+    assert!(report.stale.is_empty(), "{:?}", report.stale);
+}
+
+#[test]
+fn preceding_line_marker_used_by_next_line_is_not_stale() {
+    let report = verus_check::scan_file(
+        Path::new("crates/core/src/foo.rs"),
+        "// bootstrap only — verus-check: allow(no-unwrap-in-lib)\nfn f() { v.pop().unwrap(); }\n",
+    );
+    assert!(report.diagnostics.is_empty());
+    assert!(report.stale.is_empty(), "{:?}", report.stale);
+}
+
 // ------------------------------------------------------------------ formatting
 
 #[test]

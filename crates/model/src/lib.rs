@@ -1,0 +1,266 @@
+//! `verus-model` — a dependency-free, loom-style model checker for the
+//! workspace's thread handshakes.
+//!
+//! The transport crate's emulator and receiver coordinate real threads
+//! through atomics (stop flags, packet counters); the bench harness
+//! claims work items with a shared counter. Plain tests only ever see
+//! the interleavings the OS happens to produce. This crate runs a model
+//! of such a protocol under **every** sequentially consistent
+//! interleaving of its shared-memory operations, depth-first with
+//! backtracking, the way [loom](https://github.com/tokio-rs/loom) does —
+//! rebuilt here from scratch because the build is offline.
+//!
+//! # Usage
+//!
+//! Write the protocol against this crate's `thread::spawn`,
+//! `sync::AtomicU64`/`AtomicBool`/`AtomicUsize`, and `sync::Mutex`
+//! (signature-compatible subsets of std), then wrap it in [`model`]:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use verus_model::sync::{AtomicU64, Ordering};
+//! use verus_model::{model, thread};
+//!
+//! model(|| {
+//!     let c = Arc::new(AtomicU64::new(0));
+//!     let c2 = Arc::clone(&c);
+//!     let t = thread::spawn(move || c2.fetch_add(1, Ordering::Relaxed));
+//!     c.fetch_add(1, Ordering::Relaxed);
+//!     t.join();
+//!     assert_eq!(c.load(Ordering::Relaxed), 2);
+//! });
+//! ```
+//!
+//! [`model`] panics with the failing thread schedule if any interleaving
+//! panics or deadlocks; [`exists_failing`] flips the polarity to prove
+//! that a deliberately wrong protocol really can fail (the executable
+//! form of a `// ordering:` justification).
+//!
+//! # Scope and limits
+//!
+//! - The model explores **sequentially consistent** interleavings. It
+//!   finds ordering races (a read racing a read-modify-write, lost
+//!   updates, stale-snapshot bugs) and deadlocks; it does not model
+//!   weak-memory reorderings, so it cannot validate `Relaxed` vs
+//!   `Acquire` distinctions — those arguments live in the
+//!   `// ordering:` comments that `verus-check` enforces.
+//! - Every loop in a model must be bounded: an unbounded
+//!   `while !stop.load()` spin has schedules of unbounded length.
+//! - Exploration is capped at [`DEFAULT_MAX_SCHEDULES`] (use [`explore`]
+//!   to choose a different cap); [`Explored::truncated`] reports whether
+//!   the cap bit.
+//! - One model runs at a time per process (a global gate serializes
+//!   them); models must not nest.
+
+mod scheduler;
+pub mod sync;
+pub mod thread;
+
+pub use scheduler::{exists_failing, explore, model, Explored, Failure, DEFAULT_MAX_SCHEDULES};
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeSet;
+    use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+    use crate::sync::{AtomicU64, Mutex, Ordering};
+    use crate::{exists_failing, explore, model, thread};
+
+    #[test]
+    fn single_thread_runs_once() {
+        let stats = model(|| {
+            let c = AtomicU64::new(0);
+            c.store(7, Ordering::Relaxed);
+            assert_eq!(c.load(Ordering::Relaxed), 7);
+        });
+        assert_eq!(stats.schedules, 1);
+        assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn store_buffering_litmus_observes_exactly_the_sc_outcomes() {
+        // Classic SB litmus: under sequential consistency (0,0) is
+        // impossible, the other three outcomes all occur. This pins both
+        // soundness (no phantom interleavings) and completeness (all SC
+        // interleavings visited).
+        let outcomes = Arc::new(StdMutex::new(BTreeSet::new()));
+        let sink = Arc::clone(&outcomes);
+        let stats = model(move || {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x1, y1) = (Arc::clone(&x), Arc::clone(&y));
+            let t1 = thread::spawn(move || {
+                x1.store(1, Ordering::SeqCst);
+                y1.load(Ordering::SeqCst)
+            });
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t2 = thread::spawn(move || {
+                y2.store(1, Ordering::SeqCst);
+                x2.load(Ordering::SeqCst)
+            });
+            let pair = (t1.join(), t2.join());
+            sink.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(pair);
+        });
+        assert!(!stats.truncated, "litmus must be explored exhaustively");
+        assert!(stats.schedules > 1);
+        let got = outcomes.lock().unwrap_or_else(PoisonError::into_inner);
+        let want: BTreeSet<(u64, u64)> = [(0, 1), (1, 0), (1, 1)].into_iter().collect();
+        assert_eq!(*got, want, "SC allows exactly these outcomes");
+    }
+
+    #[test]
+    fn exists_failing_finds_the_lost_update() {
+        // Non-atomic read-modify-write: two increments can both read 0.
+        let found = exists_failing(|| {
+            let c = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        let t = c.load(Ordering::SeqCst);
+                        c.store(t + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+        });
+        assert!(found, "the torn increment must have a failing schedule");
+    }
+
+    #[test]
+    fn fetch_add_has_no_lost_update() {
+        let stats = model(|| {
+            let c = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(c.load(Ordering::SeqCst), 2);
+        });
+        assert!(!stats.truncated);
+        assert!(stats.schedules > 1, "interleavings were actually explored");
+    }
+
+    #[test]
+    fn mutex_restores_the_torn_increment() {
+        // The same torn read-modify-write as the lost-update test, but
+        // under a model mutex; the scratch op inside the critical
+        // section inserts a decision point that would lose updates were
+        // exclusion not enforced.
+        model(|| {
+            let total = Arc::new(Mutex::new(0u64));
+            let scratch = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let total = Arc::clone(&total);
+                    let scratch = Arc::clone(&scratch);
+                    thread::spawn(move || {
+                        let mut g = total.lock();
+                        let t = *g;
+                        scratch.fetch_add(1, Ordering::SeqCst);
+                        *g = t + 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(*total.lock(), 2);
+        });
+    }
+
+    #[test]
+    fn lock_order_inversion_is_reported_as_deadlock() {
+        let found = exists_failing(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = thread::spawn(move || {
+                let _ga = a1.lock();
+                let _gb = b1.lock();
+            });
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t2 = thread::spawn(move || {
+                let _gb = b2.lock();
+                let _ga = a2.lock();
+            });
+            t1.join();
+            t2.join();
+        });
+        assert!(found, "AB/BA lock order must deadlock in some schedule");
+    }
+
+    #[test]
+    fn deadlock_failure_message_names_the_schedule() {
+        let err = explore(
+            || {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+                let t1 = thread::spawn(move || {
+                    let _ga = a1.lock();
+                    let _gb = b1.lock();
+                });
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t2 = thread::spawn(move || {
+                    let _gb = b2.lock();
+                    let _ga = a2.lock();
+                });
+                t1.join();
+                t2.join();
+            },
+            crate::DEFAULT_MAX_SCHEDULES,
+        )
+        .expect_err("must find the deadlock");
+        assert!(err.message.contains("deadlock"), "{}", err.message);
+        assert!(err.message.contains("schedule"), "{}", err.message);
+    }
+
+    #[test]
+    fn join_returns_the_thread_value() {
+        model(|| {
+            let t = thread::spawn(|| 41u64 + 1);
+            assert_eq!(t.join(), 42);
+        });
+    }
+
+    #[test]
+    fn schedule_cap_sets_the_truncated_flag() {
+        let stats = explore(
+            || {
+                let c = Arc::new(AtomicU64::new(0));
+                let c2 = Arc::clone(&c);
+                let t = thread::spawn(move || c2.fetch_add(1, Ordering::SeqCst));
+                c.fetch_add(1, Ordering::SeqCst);
+                t.join();
+            },
+            1,
+        )
+        .expect("no failure in one schedule");
+        assert_eq!(stats.schedules, 1);
+        assert!(stats.truncated, "two threads need more than one schedule");
+    }
+
+    #[test]
+    fn compare_exchange_and_swap_behave() {
+        model(|| {
+            let c = AtomicU64::new(5);
+            assert_eq!(c.compare_exchange(4, 9, Ordering::SeqCst, Ordering::SeqCst), Err(5));
+            assert_eq!(c.compare_exchange(5, 9, Ordering::SeqCst, Ordering::SeqCst), Ok(5));
+            assert_eq!(c.swap(1, Ordering::SeqCst), 9);
+            assert_eq!(c.load(Ordering::SeqCst), 1);
+        });
+    }
+}

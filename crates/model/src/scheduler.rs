@@ -1,0 +1,476 @@
+//! The cooperative scheduler at the heart of the model checker.
+//!
+//! One *schedule* is a single execution of the model closure in which
+//! every shared-memory operation is serialized: exactly one model thread
+//! runs at a time, and before each operation the scheduler picks which
+//! runnable thread goes next. The pick is a recorded [`Choice`];
+//! depth-first backtracking over the choice stack enumerates every
+//! interleaving of the serialized execution (i.e. every sequentially
+//! consistent history).
+//!
+//! Model threads are real OS threads parked on a condvar; the scheduler
+//! passes a "token" (`active`) between them. This keeps the user-facing
+//! API identical in shape to `std::thread` — closures, `JoinHandle`s,
+//! panics — without any transformation of the code under test.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Thread id of the model's main thread (the closure passed to
+/// [`explore`] runs as this thread).
+pub(crate) const MAIN: usize = 0;
+
+/// Default schedule cap for [`model`]/[`exists_failing`]: far above what
+/// the workspace's handshake models need, low enough that a runaway
+/// state space fails fast instead of hanging CI.
+pub const DEFAULT_MAX_SCHEDULES: usize = 100_000;
+
+/// Panic payload used to tear model threads down when a schedule aborts
+/// (failure found, or exploration over). Never escapes the crate: every
+/// model thread runs under `catch_unwind` and swallows it.
+pub(crate) struct ModelAbort;
+
+/// One recorded scheduling decision: `options` were the runnable thread
+/// ids at this point (ascending), `idx` is which one was taken.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Choice {
+    idx: usize,
+    options: Vec<usize>,
+}
+
+/// Why a thread is not currently runnable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Block {
+    /// Waiting for the thread with this id to finish.
+    Join(usize),
+    /// Waiting for the model mutex with this id to be released.
+    Lock(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct SchedState {
+    threads: Vec<TState>,
+    active: usize,
+    schedule: Vec<Choice>,
+    step: usize,
+    aborting: bool,
+    failure: Option<String>,
+}
+
+pub(crate) struct Scheduler {
+    st: Mutex<SchedState>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    fn new() -> Self {
+        Self {
+            st: Mutex::new(SchedState {
+                threads: Vec::new(),
+                active: MAIN,
+                schedule: Vec::new(),
+                step: 0,
+                aborting: false,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SchedState> {
+        self.st.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Resets per-run state; the choice stack persists across runs (it IS
+    /// the backtracking cursor).
+    fn begin_run(&self) {
+        let mut st = self.lock();
+        st.threads.clear();
+        st.threads.push(TState::Runnable);
+        st.active = MAIN;
+        st.step = 0;
+        st.aborting = false;
+        st.failure = None;
+    }
+
+    /// Records a failure (first one wins) and flips the abort flag so
+    /// every parked thread unwinds at its next wake-up.
+    fn fail_locked(&self, st: &mut SchedState, msg: String) {
+        if st.failure.is_none() {
+            let trace: Vec<usize> = st.schedule[..st.step]
+                .iter()
+                .map(|c| c.options[c.idx])
+                .collect();
+            st.failure = Some(format!(
+                "{msg}\n  schedule (thread ids in run order): {trace:?}"
+            ));
+        }
+        st.aborting = true;
+    }
+
+    /// Picks the next thread to run, replaying the recorded choice if one
+    /// exists and recording a fresh first-option choice otherwise.
+    /// Returns `false` when every thread has finished. Declares deadlock
+    /// (a failure) when live threads remain but none is runnable.
+    fn schedule_next(&self, st: &mut SchedState) -> bool {
+        let options: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, TState::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if options.is_empty() {
+            if st.threads.iter().all(|t| matches!(t, TState::Finished)) {
+                return false;
+            }
+            let blocked: Vec<(usize, TState)> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t, TState::Blocked(_)))
+                .map(|(i, t)| (i, *t))
+                .collect();
+            self.fail_locked(
+                st,
+                format!("deadlock: every live thread is blocked ({blocked:?})"),
+            );
+            return false;
+        }
+        let idx = if st.step < st.schedule.len() {
+            debug_assert_eq!(
+                st.schedule[st.step].options, options,
+                "non-deterministic replay: the model closure must make \
+                 the same spawns/ops given the same schedule prefix"
+            );
+            st.schedule[st.step].idx
+        } else {
+            st.schedule.push(Choice {
+                idx: 0,
+                options: options.clone(),
+            });
+            0
+        };
+        st.active = st.schedule[st.step].options[idx];
+        st.step += 1;
+        true
+    }
+
+    /// Parks until this thread holds the token (or the run is aborting,
+    /// in which case it unwinds with [`ModelAbort`]).
+    fn wait_for_turn(&self, mut st: MutexGuard<'_, SchedState>, tid: usize) {
+        loop {
+            if st.aborting {
+                drop(st);
+                panic::panic_any(ModelAbort);
+            }
+            if st.active == tid && matches!(st.threads[tid], TState::Runnable) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// The decision point placed before every shared-memory operation.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            panic::panic_any(ModelAbort);
+        }
+        let _ = self.schedule_next(&mut st);
+        self.cv.notify_all();
+        self.wait_for_turn(st, tid);
+    }
+
+    /// Blocks `tid` on `reason`, hands the token to someone else, and
+    /// parks until unblocked *and* rescheduled.
+    pub(crate) fn block_on(&self, tid: usize, reason: Block) {
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            panic::panic_any(ModelAbort);
+        }
+        st.threads[tid] = TState::Blocked(reason);
+        let _ = self.schedule_next(&mut st);
+        self.cv.notify_all();
+        self.wait_for_turn(st, tid);
+    }
+
+    /// Join handshake: returns once `target` has finished (no extra yield
+    /// — joining a finished thread is synchronization, not an operation).
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        loop {
+            let st = self.lock();
+            if st.aborting {
+                drop(st);
+                panic::panic_any(ModelAbort);
+            }
+            if matches!(st.threads[target], TState::Finished) {
+                return;
+            }
+            drop(st);
+            self.block_on(me, Block::Join(target));
+        }
+    }
+
+    /// Registers a new model thread (spawned but not yet scheduled).
+    pub(crate) fn register(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(TState::Runnable);
+        st.threads.len() - 1
+    }
+
+    pub(crate) fn add_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(h);
+    }
+
+    /// First park of a freshly spawned model thread: waits to be
+    /// scheduled for the first time.
+    pub(crate) fn wait_until_scheduled(&self, tid: usize) {
+        let st = self.lock();
+        self.wait_for_turn(st, tid);
+    }
+
+    /// Normal thread exit: wakes joiners and passes the token on.
+    pub(crate) fn finish(&self, tid: usize) {
+        let mut st = self.lock();
+        st.threads[tid] = TState::Finished;
+        for t in st.threads.iter_mut() {
+            if matches!(*t, TState::Blocked(Block::Join(j)) if j == tid) {
+                *t = TState::Runnable;
+            }
+        }
+        let _ = self.schedule_next(&mut st);
+        self.cv.notify_all();
+    }
+
+    /// Exit paths for a thread that unwound: `failure` is `Some` for a
+    /// real panic (assertion in the model), `None` for [`ModelAbort`].
+    pub(crate) fn finish_unwound(&self, tid: usize, failure: Option<String>) {
+        let mut st = self.lock();
+        st.threads[tid] = TState::Finished;
+        if let Some(msg) = failure {
+            self.fail_locked(&mut st, msg);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Wakes every thread blocked on model-mutex `lock_id`. Called from a
+    /// guard's `Drop`; deliberately neither yields nor aborts (panicking
+    /// in a destructor during unwinding would abort the process).
+    pub(crate) fn unblock_lock(&self, lock_id: usize) {
+        let mut st = self.lock();
+        for t in st.threads.iter_mut() {
+            if matches!(*t, TState::Blocked(Block::Lock(l)) if l == lock_id) {
+                *t = TState::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn join_os_threads(&self) {
+        let handles: Vec<_> = self
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn take_failure(&self) -> Option<String> {
+        self.lock().failure.take()
+    }
+
+    /// Advances the backtracking cursor to the next unexplored schedule.
+    /// Returns `false` when the whole tree has been visited.
+    fn advance(&self) -> bool {
+        let mut st = self.lock();
+        while let Some(last) = st.schedule.last_mut() {
+            if last.idx + 1 < last.options.len() {
+                last.idx += 1;
+                return true;
+            }
+            st.schedule.pop();
+        }
+        false
+    }
+}
+
+// ------------------------------------------------------------ thread context
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn ctx() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(sched: Arc<Scheduler>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Yield-if-inside-a-model: the hook every model atomic/mutex op calls.
+/// Outside a model the shared types degrade to plain serialized ops.
+pub(crate) fn yield_now() {
+    if let Some((sched, tid)) = ctx() {
+        sched.yield_point(tid);
+    }
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    }
+}
+
+// --------------------------------------------------------------- entry points
+
+/// One model at a time per process: model threads talk to their
+/// scheduler through thread-local context, and the panic hook treats
+/// any in-model panic as captured output.
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Installs (once, permanently) a panic hook that stays silent for
+/// panics raised on model threads — their payloads are captured into
+/// [`Failure::message`] and re-reported by [`model`], so printing them
+/// mid-exploration is pure noise (expected failures in
+/// [`exists_failing`] would spam stderr on every run).
+fn install_panic_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let in_model = CTX.try_with(|c| c.borrow().is_some()).unwrap_or(false);
+            if !in_model {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Exploration statistics for a model run with no failing schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Explored {
+    /// Number of complete schedules executed.
+    pub schedules: usize,
+    /// True when the `max_schedules` cap stopped exploration before the
+    /// schedule tree was exhausted — the absence-of-failure claim is
+    /// then only as strong as the visited prefix.
+    pub truncated: bool,
+}
+
+/// A failing schedule found during exploration.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Human-readable description: the panic or deadlock, plus the
+    /// thread-id trace of the schedule that produced it.
+    pub message: String,
+    /// How many schedules ran up to and including the failing one.
+    pub schedules: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model failed after {} schedule(s): {}",
+            self.schedules, self.message
+        )
+    }
+}
+
+/// Runs `f` under every interleaving of its model-level operations (up
+/// to `max_schedules`), depth-first. Returns the first failure — an
+/// assertion panic on any model thread, or a deadlock — or exploration
+/// statistics if none is found.
+///
+/// `f` must be deterministic apart from scheduling, and every loop in it
+/// must be bounded (an unbounded spin such as `while !stop.load()` has
+/// schedules of unbounded length and can never be exhausted).
+/// Models must not nest.
+pub fn explore<F: Fn()>(f: F, max_schedules: usize) -> Result<Explored, Failure> {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    install_panic_hook();
+    let sched = Arc::new(Scheduler::new());
+    let mut schedules = 0usize;
+    loop {
+        sched.begin_run();
+        set_ctx(Arc::clone(&sched), MAIN);
+        let res = panic::catch_unwind(AssertUnwindSafe(&f));
+        match res {
+            Ok(()) => sched.finish(MAIN),
+            Err(payload) => {
+                let failure = if payload.downcast_ref::<ModelAbort>().is_some() {
+                    None // a sibling thread already recorded the failure
+                } else {
+                    Some(format!(
+                        "model main thread panicked: {}",
+                        panic_message(payload.as_ref())
+                    ))
+                };
+                sched.finish_unwound(MAIN, failure);
+            }
+        }
+        sched.join_os_threads();
+        clear_ctx();
+        schedules += 1;
+        if let Some(message) = sched.take_failure() {
+            return Err(Failure { message, schedules });
+        }
+        if !sched.advance() {
+            return Ok(Explored {
+                schedules,
+                truncated: false,
+            });
+        }
+        if schedules >= max_schedules {
+            return Ok(Explored {
+                schedules,
+                truncated: true,
+            });
+        }
+    }
+}
+
+/// Exhaustively checks `f` (up to [`DEFAULT_MAX_SCHEDULES`]); panics
+/// with the failing schedule if any interleaving panics or deadlocks.
+pub fn model<F: Fn()>(f: F) -> Explored {
+    match explore(f, DEFAULT_MAX_SCHEDULES) {
+        Ok(stats) => stats,
+        Err(failure) => panic!("{failure}"),
+    }
+}
+
+/// Returns true iff some interleaving of `f` fails — for demonstrating
+/// that a *wrong* protocol really is wrong (the test form of "this
+/// ordering matters").
+pub fn exists_failing<F: Fn()>(f: F) -> bool {
+    explore(f, DEFAULT_MAX_SCHEDULES).is_err()
+}

@@ -1,0 +1,215 @@
+//! Model replacements for `std::sync` types.
+//!
+//! Each shared-memory operation calls [`yield_now`] first, making it a
+//! scheduling decision point; the operation itself then runs atomically
+//! (the scheduler serializes model threads, so a plain mutex-guarded
+//! value is enough). Orderings are accepted for signature compatibility
+//! but not weakened: the model explores the sequentially consistent
+//! interleavings, which is exactly the set the workspace's
+//! `// ordering:` audit arguments reason over.
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+pub use std::sync::atomic::Ordering;
+
+use crate::scheduler::{ctx, yield_now, Block};
+
+macro_rules! model_atomic_int {
+    ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            v: StdMutex<$ty>,
+        }
+
+        impl $name {
+            /// Creates the atomic with an initial value.
+            #[must_use]
+            pub const fn new(v: $ty) -> Self {
+                Self { v: StdMutex::new(v) }
+            }
+
+            fn cell(&self) -> StdMutexGuard<'_, $ty> {
+                self.v.lock().unwrap_or_else(PoisonError::into_inner)
+            }
+
+            /// Model `load`.
+            pub fn load(&self, _order: Ordering) -> $ty {
+                yield_now();
+                *self.cell()
+            }
+
+            /// Model `store`.
+            pub fn store(&self, val: $ty, _order: Ordering) {
+                yield_now();
+                *self.cell() = val;
+            }
+
+            /// Model `fetch_add` (wrapping, like the std atomics).
+            pub fn fetch_add(&self, val: $ty, _order: Ordering) -> $ty {
+                yield_now();
+                let mut g = self.cell();
+                let old = *g;
+                *g = old.wrapping_add(val);
+                old
+            }
+
+            /// Model `swap`.
+            pub fn swap(&self, val: $ty, _order: Ordering) -> $ty {
+                yield_now();
+                let mut g = self.cell();
+                std::mem::replace(&mut *g, val)
+            }
+
+            /// Model `compare_exchange`.
+            ///
+            /// # Errors
+            /// Returns the actual value when it differs from `current`.
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                yield_now();
+                let mut g = self.cell();
+                if *g == current {
+                    *g = new;
+                    Ok(current)
+                } else {
+                    Err(*g)
+                }
+            }
+        }
+    };
+}
+
+model_atomic_int!(
+    /// Model stand-in for `std::sync::atomic::AtomicU64`.
+    AtomicU64,
+    u64
+);
+model_atomic_int!(
+    /// Model stand-in for `std::sync::atomic::AtomicUsize`.
+    AtomicUsize,
+    usize
+);
+
+/// Model stand-in for `std::sync::atomic::AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    v: StdMutex<bool>,
+}
+
+impl AtomicBool {
+    /// Creates the atomic with an initial value.
+    #[must_use]
+    pub const fn new(v: bool) -> Self {
+        Self { v: StdMutex::new(v) }
+    }
+
+    fn cell(&self) -> StdMutexGuard<'_, bool> {
+        self.v.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Model `load`.
+    pub fn load(&self, _order: Ordering) -> bool {
+        yield_now();
+        *self.cell()
+    }
+
+    /// Model `store`.
+    pub fn store(&self, val: bool, _order: Ordering) {
+        yield_now();
+        *self.cell() = val;
+    }
+
+    /// Model `swap`.
+    pub fn swap(&self, val: bool, _order: Ordering) -> bool {
+        yield_now();
+        let mut g = self.cell();
+        std::mem::replace(&mut *g, val)
+    }
+}
+
+/// Model mutex: acquisition is a decision point, contention blocks the
+/// thread in the scheduler (so lock-order inversions surface as model
+/// deadlocks rather than hung tests).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    owner: StdMutex<Option<usize>>,
+    data: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex.
+    #[must_use]
+    pub const fn new(t: T) -> Self {
+        Self {
+            owner: StdMutex::new(None),
+            data: StdMutex::new(t),
+        }
+    }
+
+    fn lock_id(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    /// Acquires the mutex, blocking this model thread while another one
+    /// holds it. Outside a model it degrades to the plain std mutex.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some((sched, tid)) = ctx() {
+            loop {
+                sched.yield_point(tid);
+                {
+                    let mut owner = self.owner.lock().unwrap_or_else(PoisonError::into_inner);
+                    if owner.is_none() {
+                        *owner = Some(tid);
+                        break;
+                    }
+                }
+                sched.block_on(tid, Block::Lock(self.lock_id()));
+            }
+        }
+        MutexGuard {
+            mutex: self,
+            inner: Some(self.data.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+}
+
+/// Guard for [`Mutex`]; releases and wakes blocked model threads on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((sched, _tid)) = ctx() {
+            *self
+                .mutex
+                .owner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = None;
+            sched.unblock_lock(self.mutex.lock_id());
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Model replacement for `std::thread::{spawn, JoinHandle}`.
+//!
+//! Model threads are real OS threads, but they execute only while they
+//! hold the scheduler's token — `spawn` registers the thread and yields
+//! (so "child runs first" interleavings are explored), and `join` is a
+//! blocking scheduler handshake that propagates the child's value.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::scheduler::{clear_ctx, ctx, panic_message, set_ctx, ModelAbort, Scheduler};
+
+/// Handle to a model thread; `join` returns the closure's value.
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<Mutex<Option<T>>>,
+    sched: Arc<Scheduler>,
+}
+
+/// Spawns a model thread running `f` under the current model. Panics if
+/// called outside a [`crate::model`] closure.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, me) = ctx().expect("verus-model: thread::spawn outside model()");
+    let tid = sched.register();
+    let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let os = std::thread::Builder::new()
+        .name(format!("verus-model-{tid}"))
+        .spawn({
+            let sched = Arc::clone(&sched);
+            let slot = Arc::clone(&slot);
+            move || {
+                set_ctx(Arc::clone(&sched), tid);
+                let sched_inner = Arc::clone(&sched);
+                let res = panic::catch_unwind(AssertUnwindSafe(move || {
+                    sched_inner.wait_until_scheduled(tid);
+                    f()
+                }));
+                clear_ctx();
+                match res {
+                    Ok(v) => {
+                        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                        sched.finish(tid);
+                    }
+                    Err(payload) => {
+                        let failure = if payload.downcast_ref::<ModelAbort>().is_some() {
+                            None
+                        } else {
+                            Some(format!(
+                                "model thread {tid} panicked: {}",
+                                panic_message(payload.as_ref())
+                            ))
+                        };
+                        sched.finish_unwound(tid, failure);
+                    }
+                }
+            }
+        })
+        .expect("verus-model: OS thread spawn failed");
+    sched.add_handle(os);
+    // The spawn edge is itself a decision point: the child may be
+    // scheduled before the parent's next operation.
+    sched.yield_point(me);
+    JoinHandle { tid, slot, sched }
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks this model thread until the child finishes, then returns
+    /// its value. A child that panicked aborts the whole schedule (the
+    /// failure is reported by the model entry point), so `join` itself
+    /// never sees a missing value.
+    pub fn join(self) -> T {
+        let (sched, me) = ctx().expect("verus-model: join outside model()");
+        debug_assert!(Arc::ptr_eq(&sched, &self.sched), "join across models");
+        sched.join_wait(me, self.tid);
+        self.slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("verus-model: joined thread produced no value")
+    }
+}

@@ -186,7 +186,7 @@ fn run_loop(
     let mut send_failed: u64 = 0;
     let mut last_heard = Instant::now();
 
-    while !shared.stop.load(Ordering::Relaxed) {
+    while !shared.stop.load(Ordering::Relaxed) { // ordering: advisory stop flag; the 300 us socket timeout bounds shutdown latency
         let now = clock.now();
 
         // 1. Fire due delivery opportunities. During a blackout the link
@@ -212,7 +212,7 @@ fn run_loop(
                         if fate.corrupted {
                             // Discarded by the receiver's checksum.
                             corrupt_dropped += 1;
-                            shared.impaired.fetch_add(1, Ordering::Relaxed);
+                            shared.impaired.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
                             continue;
                         }
                         let extra = fate.extra_delay.unwrap_or(SimDuration::ZERO);
@@ -246,7 +246,7 @@ fn run_loop(
             let Reverse(item) = delay_line.pop().expect("peeked");
             if item.to_receiver {
                 if egress.send_to(&item.payload, config.receiver).is_ok() {
-                    shared.forwarded.fetch_add(1, Ordering::Relaxed);
+                    shared.forwarded.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
                 } else {
                     send_failed += 1;
                 }
@@ -261,14 +261,14 @@ fn run_loop(
                 Ok((n, src)) => {
                     last_heard = Instant::now();
                     sender_addr = Some(src);
-                    shared.received.fetch_add(1, Ordering::Relaxed);
+                    shared.received.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
                     if config.loss > 0.0 && rng.gen::<f64>() < config.loss {
-                        shared.dropped.fetch_add(1, Ordering::Relaxed);
+                        shared.dropped.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
                         continue;
                     }
                     let copies = match impairments.on_ingress(clock.now()) {
                         IngressFate::Lost => {
-                            shared.impaired.fetch_add(1, Ordering::Relaxed);
+                            shared.impaired.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
                             continue;
                         }
                         IngressFate::Pass { duplicate: false } => 1,
@@ -279,7 +279,7 @@ fn run_loop(
                     };
                     for _ in 0..copies {
                         if backlog + n as u64 > config.queue_capacity {
-                            shared.dropped.fetch_add(1, Ordering::Relaxed);
+                            shared.dropped.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
                             continue;
                         }
                         backlog += n as u64;
@@ -323,7 +323,7 @@ fn run_loop(
         // long, terminate cleanly instead of spinning forever.
         if let Some(idle) = config.watchdog_idle {
             if last_heard.elapsed() > idle {
-                shared.watchdog_fired.store(true, Ordering::Relaxed);
+                shared.watchdog_fired.store(true, Ordering::Relaxed); // ordering: write-once status flag; readers only poll it
                 break;
             }
         }
@@ -339,10 +339,10 @@ fn run_loop(
             .iter()
             .filter(|Reverse(t)| t.to_receiver)
             .count() as u64;
-        let received = shared.received.load(Ordering::Relaxed);
-        let forwarded = shared.forwarded.load(Ordering::Relaxed);
-        let dropped = shared.dropped.load(Ordering::Relaxed);
-        let impaired = shared.impaired.load(Ordering::Relaxed);
+        let received = shared.received.load(Ordering::Relaxed); // ordering: same-thread read; the loop above has exited
+        let forwarded = shared.forwarded.load(Ordering::Relaxed); // ordering: same-thread read; the loop above has exited
+        let dropped = shared.dropped.load(Ordering::Relaxed); // ordering: same-thread read; the loop above has exited
+        let impaired = shared.impaired.load(Ordering::Relaxed); // ordering: same-thread read; the loop above has exited
         let ingress_lost = impaired - corrupt_dropped;
         assert!(
             received + dup_injected
@@ -374,32 +374,32 @@ impl EmulatorHandle {
     /// Data packets forwarded to the receiver so far.
     #[must_use]
     pub fn forwarded(&self) -> u64 {
-        self.shared.forwarded.load(Ordering::Relaxed)
+        self.shared.forwarded.load(Ordering::Relaxed) // ordering: monotone counter snapshot; staleness is acceptable
     }
 
     /// Data packets dropped (stochastic loss + queue overflow).
     #[must_use]
     pub fn dropped(&self) -> u64 {
-        self.shared.dropped.load(Ordering::Relaxed)
+        self.shared.dropped.load(Ordering::Relaxed) // ordering: monotone counter snapshot; staleness is acceptable
     }
 
     /// Data packets read from the ingress socket so far.
     #[must_use]
     pub fn received(&self) -> u64 {
-        self.shared.received.load(Ordering::Relaxed)
+        self.shared.received.load(Ordering::Relaxed) // ordering: monotone counter snapshot; staleness is acceptable
     }
 
     /// Data packets lost to the impairment pipeline (blackouts, burst
     /// loss, corruption).
     #[must_use]
     pub fn impaired(&self) -> u64 {
-        self.shared.impaired.load(Ordering::Relaxed)
+        self.shared.impaired.load(Ordering::Relaxed) // ordering: monotone counter snapshot; staleness is acceptable
     }
 
     /// Whether the silent-peer watchdog shut the emulator down.
     #[must_use]
     pub fn watchdog_fired(&self) -> bool {
-        self.shared.watchdog_fired.load(Ordering::Relaxed)
+        self.shared.watchdog_fired.load(Ordering::Relaxed) // ordering: write-once flag poll; staleness is acceptable
     }
 
     /// Wires in the receiver's delivered-packet counter (from
@@ -414,7 +414,7 @@ impl EmulatorHandle {
     /// until [`Self::attach_delivered`] is called.
     #[must_use]
     pub fn delivered(&self) -> Option<u64> {
-        self.delivered.as_ref().map(|c| c.load(Ordering::Relaxed))
+        self.delivered.as_ref().map(|c| c.load(Ordering::Relaxed)) // ordering: monotone counter snapshot; staleness is acceptable
     }
 
     /// The emulator's packet counters as named counters for a
@@ -459,7 +459,7 @@ impl EmulatorHandle {
     /// packet-conservation assert in a debug/strict build) instead of
     /// swallowing it — soak tests rely on this.
     pub fn stop(mut self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.stop.store(true, Ordering::Relaxed); // ordering: advisory flag; join() below is the synchronization
         if let Some(t) = self.thread.take() {
             assert!(t.join().is_ok(), "emulator thread panicked");
         }
@@ -468,7 +468,7 @@ impl EmulatorHandle {
 
 impl Drop for EmulatorHandle {
     fn drop(&mut self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.stop.store(true, Ordering::Relaxed); // ordering: advisory flag; join() below is the synchronization
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }

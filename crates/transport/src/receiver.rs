@@ -43,14 +43,14 @@ impl Receiver {
             .name("verus-receiver".into())
             .spawn(move || {
                 let mut buf = [0u8; 65_536];
-                while !t_stop.load(Ordering::Relaxed) {
+                while !t_stop.load(Ordering::Relaxed) { // ordering: advisory stop flag; the 20 ms read timeout bounds shutdown latency
                     match socket.recv_from(&mut buf) {
                         Ok((n, src)) => {
                             let Ok(pkt) = DataPacket::decode(&buf[..n]) else {
                                 continue; // not a data packet; ignore
                             };
-                            t_received.fetch_add(1, Ordering::Relaxed);
-                            t_bytes.fetch_add(n as u64, Ordering::Relaxed);
+                            t_received.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
+                            t_bytes.fetch_add(n as u64, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
                             let ack = AckPacket::for_packet(&pkt, clock.now_micros());
                             // Best effort: a dropped ACK looks like loss
                             // to the sender, which is correct behaviour.
@@ -87,7 +87,7 @@ impl ReceiverHandle {
     /// Packets received so far.
     #[must_use]
     pub fn received(&self) -> u64 {
-        self.received.load(Ordering::Relaxed)
+        self.received.load(Ordering::Relaxed) // ordering: monotone counter snapshot; staleness is acceptable
     }
 
     /// A cloneable handle onto the live delivered-packet counter, for
@@ -102,12 +102,12 @@ impl ReceiverHandle {
     /// Bytes received so far.
     #[must_use]
     pub fn bytes(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
+        self.bytes.load(Ordering::Relaxed) // ordering: monotone counter snapshot; staleness is acceptable
     }
 
     /// Stops the receiver and joins its thread.
     pub fn stop(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed); // ordering: advisory flag; join() below is the synchronization
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -116,7 +116,7 @@ impl ReceiverHandle {
 
 impl Drop for ReceiverHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Relaxed); // ordering: advisory flag; join() below is the synchronization
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }

@@ -1,0 +1,209 @@
+//! Model-checked replicas of the transport crate's thread handshakes.
+//!
+//! The emulator (`emulator.rs`) and receiver (`receiver.rs`) coordinate
+//! their worker threads through atomics: an advisory `stop` flag, and
+//! monotone packet counters (`received`, `forwarded`, `dropped`) that
+//! snapshot methods read while the worker is still running. Every one of
+//! those sites carries a `// ordering:` justification that `verus-check`
+//! enforces; these tests make the *arguments in those comments
+//! executable* by replaying the protocol shape under every sequentially
+//! consistent interleaving with `verus-model`.
+//!
+//! Each model mirrors one protocol:
+//! - worker loop: check `stop`, then `received += 1; forwarded += 1`
+//!   per packet (the emulator increments `received` first — that is the
+//!   invariant under test);
+//! - snapshot readers: `trace_counters` reads `forwarded` *before*
+//!   `received`, and `data_in_flight` uses a saturating subtraction —
+//!   both choices exist because the naive alternative is wrong, and the
+//!   `exists_failing` tests here prove the naive alternative wrong.
+//!
+//! Loops are bounded (2 packets) — the model requires finite schedules —
+//! which is enough: every race these tests pin needs at most one
+//! increment between two reads.
+
+use std::sync::Arc;
+
+use verus_model::sync::{AtomicBool, AtomicU64, Ordering};
+use verus_model::{exists_failing, model, thread};
+
+/// Model replica of `EmulatorShared`: the subset of fields involved in
+/// the stop/counter handshakes.
+#[derive(Default)]
+struct Shared {
+    stop: AtomicBool,
+    received: AtomicU64,
+    forwarded: AtomicU64,
+    delivered: AtomicU64,
+}
+
+/// Worker loop shape from `emulator.rs::run_loop`: poll `stop`, then
+/// account one packet — `received` strictly before `forwarded`.
+fn run_worker(shared: &Shared, packets: u64) {
+    for _ in 0..packets {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        shared.received.fetch_add(1, Ordering::Relaxed);
+        shared.forwarded.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn stop_then_join_quiesces_the_counters() {
+    // The `stop()`/`Drop` contract: after `stop.store(true)` + join, no
+    // counter moves again — the post-join snapshot is final, and packet
+    // conservation (received >= forwarded) holds at rest.
+    let stats = model(|| {
+        let shared = Arc::new(Shared::default());
+        let worker = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || run_worker(&shared, 2))
+        };
+        shared.stop.store(true, Ordering::Relaxed);
+        worker.join();
+        let forwarded = shared.forwarded.load(Ordering::Relaxed);
+        let received = shared.received.load(Ordering::Relaxed);
+        assert_eq!(
+            shared.forwarded.load(Ordering::Relaxed),
+            forwarded,
+            "counter moved after join"
+        );
+        assert!(received >= forwarded, "conservation broken at rest");
+    });
+    assert!(!stats.truncated, "handshake must be explored exhaustively");
+}
+
+#[test]
+fn forwarded_before_received_read_order_upholds_conservation() {
+    // `trace_counters` reads `forwarded` BEFORE `received` (see the
+    // comment block in emulator.rs). Because the worker increments
+    // `received` first, every interleaving of that read order satisfies
+    // received >= forwarded.
+    let stats = model(|| {
+        let shared = Arc::new(Shared::default());
+        let worker = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || run_worker(&shared, 2))
+        };
+        let forwarded = shared.forwarded.load(Ordering::Relaxed);
+        let received = shared.received.load(Ordering::Relaxed);
+        assert!(
+            received >= forwarded,
+            "snapshot saw forwarded={forwarded} > received={received}"
+        );
+        worker.join();
+    });
+    assert!(!stats.truncated);
+}
+
+#[test]
+fn reversed_read_order_can_violate_conservation() {
+    // The counter-example the comment in emulator.rs warns about: read
+    // `received` first and the worker can slip both increments between
+    // the two loads, yielding forwarded > received. This is why the
+    // read order above is load-bearing and not a style choice.
+    let found = exists_failing(|| {
+        let shared = Arc::new(Shared::default());
+        let worker = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || run_worker(&shared, 2))
+        };
+        let received = shared.received.load(Ordering::Relaxed);
+        let forwarded = shared.forwarded.load(Ordering::Relaxed);
+        assert!(received >= forwarded, "reversed snapshot order");
+        worker.join();
+    });
+    assert!(found, "the reversed read order must have a failing schedule");
+}
+
+#[test]
+fn delivered_can_exceed_a_stale_forwarded_snapshot() {
+    // `data_in_flight` computes forwarded - delivered with
+    // `saturating_sub`: a reader's `forwarded` snapshot can be stale by
+    // the time it reads `delivered`, making the naive subtraction
+    // underflow. The failing protocol here asserts delivered <= a
+    // stale forwarded snapshot — the model finds the interleaving.
+    let found = exists_failing(|| {
+        let shared = Arc::new(Shared::default());
+        let worker = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || {
+                // Delivery trails forwarding, as in the emulator.
+                shared.forwarded.fetch_add(1, Ordering::Relaxed);
+                shared.delivered.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        let forwarded = shared.forwarded.load(Ordering::Relaxed);
+        let delivered = shared.delivered.load(Ordering::Relaxed);
+        assert!(
+            delivered <= forwarded,
+            "stale snapshot: delivered={delivered} > forwarded={forwarded}"
+        );
+        worker.join();
+    });
+    assert!(
+        found,
+        "naive forwarded - delivered must underflow in some schedule"
+    );
+}
+
+#[test]
+fn double_stop_is_idempotent_and_race_free() {
+    // Both `stop()` and `Drop` store the stop flag; a caller invoking
+    // `stop()` while the emulator is being dropped produces two
+    // concurrent stores. The worker must terminate and the flag must
+    // read true in every interleaving — no schedule panics or deadlocks.
+    let stats = model(|| {
+        let shared = Arc::new(Shared::default());
+        let worker = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || run_worker(&shared, 2))
+        };
+        let stopper = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || shared.stop.store(true, Ordering::Relaxed))
+        };
+        shared.stop.store(true, Ordering::Relaxed);
+        stopper.join();
+        worker.join();
+        assert!(shared.stop.load(Ordering::Relaxed));
+    });
+    assert!(!stats.truncated);
+}
+
+#[test]
+fn receiver_shutdown_handshake_terminates_with_consistent_totals() {
+    // `ReceiverHandle::stop` / the receiver loop in receiver.rs: the
+    // loop polls `stop` once per datagram and bumps `received` and
+    // `bytes` together. After stop + join, the two totals must agree
+    // (bytes == received * payload), in every interleaving — the
+    // counters are only ever read via post-join or monotone snapshots.
+    const PAYLOAD: u64 = 9;
+    let stats = model(|| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let received = Arc::new(AtomicU64::new(0));
+        let bytes = Arc::new(AtomicU64::new(0));
+        let worker = {
+            let (stop, received, bytes) =
+                (Arc::clone(&stop), Arc::clone(&received), Arc::clone(&bytes));
+            thread::spawn(move || {
+                for _ in 0..2 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    received.fetch_add(1, Ordering::Relaxed);
+                    bytes.fetch_add(PAYLOAD, Ordering::Relaxed);
+                }
+            })
+        };
+        stop.store(true, Ordering::Relaxed);
+        worker.join();
+        assert_eq!(
+            bytes.load(Ordering::Relaxed),
+            received.load(Ordering::Relaxed) * PAYLOAD,
+            "totals diverged after shutdown"
+        );
+    });
+    assert!(!stats.truncated);
+}

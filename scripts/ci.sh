@@ -15,6 +15,19 @@ cargo build --release
 cargo test -q
 cargo run -p verus-check
 
+# Machine-readable scan: the JSON report must parse and contain zero
+# deny-level diagnostics (warn-level entries — e.g. stale suppressions —
+# also fail the human-mode run above via the workspace test, but the jq
+# gate keeps the deny contract explicit for downstream tooling).
+check_json="$(mktemp /tmp/verus_check.XXXXXX.json)"
+cargo run -q -p verus-check -- --json > "$check_json"
+jq -e '
+  .tool == "verus-check" and .version == 2
+  and (.counts.deny == 0)
+  and ([.diagnostics[] | select(.severity == "deny")] | length == 0)
+' "$check_json" > /dev/null || { echo "verus-check --json reported deny-level findings:"; cat "$check_json"; exit 1; }
+rm -f "$check_json"
+
 cargo test --release -q -p verus-bench --test fault_injection \
   --features verus-netsim/strict-invariants,verus-core/strict-invariants,verus-transport/strict-invariants
 
@@ -94,6 +107,14 @@ jq -e '.schema == "verus-trace-report-v0"' "$trace_out/smoke_summary.json" > /de
   || { echo "trace_report summary malformed"; exit 1; }
 rm -rf "$trace_out"
 
+# Interleaving models: verus-model (the in-tree loom-style checker)
+# exhaustively explores the transport stop/counter handshakes and the
+# bench work-claiming protocol. No gate needed — the checker is vendored
+# in crates/model, so these run on every toolchain.
+cargo test -q -p verus-model
+cargo test -q -p verus-transport --test loom_models
+cargo test -q -p verus-bench --test loom_models
+
 # Miri (undefined-behaviour interpreter) over the std-only crates. The
 # simulator crates forbid unsafe outright, so the std-only leaf crates
 # are the ones with anything for Miri to find; gated on the component
@@ -103,4 +124,16 @@ if cargo miri --version > /dev/null 2>&1; then
     cargo miri test -q -p verus-check -p verus-spline -p verus-stats
 else
   echo "miri not installed for this toolchain; skipping (rustup component add miri)"
+fi
+
+# ThreadSanitizer over the threaded crates' tests (the emulator/receiver
+# handshakes and the parallel bench runner), same availability gate
+# shape as Miri: -Zsanitizer=thread needs a nightly toolchain with the
+# matching rust-src/std; skip cleanly when this toolchain lacks it.
+if cargo +nightly --version > /dev/null 2>&1 \
+   && RUSTFLAGS="-Zsanitizer=thread" cargo +nightly rustc -p verus-model --lib -- --emit=metadata > /dev/null 2>&1; then
+  RUSTFLAGS="-Zsanitizer=thread" \
+    cargo +nightly test -q -p verus-model -p verus-transport -p verus-bench --lib --tests
+else
+  echo "nightly with -Zsanitizer=thread unavailable; skipping TSan job"
 fi

@@ -1,0 +1,285 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! `.cargo/config.toml` patches `rand` to this crate. Unlike the original
+//! throwaway stub (which returned constants and silently flattened every
+//! synthetic trace), this one is a *real* seeded PRNG — SplitMix64, the
+//! same generator `verus_netsim::impairment` embeds — so statistical
+//! tests (distribution moments, fading processes, loss draws) behave.
+//!
+//! Sequences are NOT bit-compatible with upstream `StdRng` (ChaCha12);
+//! everything in this repo that compares seeded runs compares them
+//! against runs made with the same stub, so only self-consistency
+//! matters.
+//!
+//! Provided surface: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::{gen, gen_range, gen_bool, fill}` for the primitive types the
+//! workspace draws.
+
+use std::ops::Range;
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(GOLDEN_GAMMA);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `f64` in `[0, 1)` from 53 random mantissa bits.
+#[inline]
+fn f64_from_bits(x: u64) -> f64 {
+    // 2^-53 — the standard "53 high bits" construction.
+    (x >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// Types drawable via [`Rng::gen`] (upstream's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value from the provided 64-bit source.
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            #[allow(clippy::cast_possible_truncation)]
+            fn draw(next: &mut dyn FnMut() -> u64) -> Self {
+                next() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for f64 {
+    #[inline]
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self {
+        f64_from_bits(next())
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    #[allow(clippy::cast_possible_truncation)]
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self {
+        f64_from_bits(next()) as f32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self {
+        next() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`] (upstream's `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        self.start + f64_from_bits(next()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    #[allow(clippy::cast_possible_truncation)]
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty f32 range");
+        self.start + (f64_from_bits(next()) as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift rejection-free mapping; the tiny modulo
+                // bias (span / 2^64) is far below anything these tests
+                // can resolve.
+                let hi = ((u128::from(next()) * u128::from(span)) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return Standard::draw(next);
+                }
+                (lo..hi + 1).sample(next)
+            }
+        }
+    )*};
+}
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn sample(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                let hi = ((u128::from(next()) * u128::from(span)) >> 64) as u64;
+                (self.start as $u).wrapping_add(hi as $u) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// The user-facing RNG trait (subset of upstream `Rng`).
+pub trait Rng {
+    /// The 64-bit core every other method derives from.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of type `T` from the standard distribution.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(&mut || self.next_u64())
+    }
+
+    /// Draws uniformly from `range`.
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(&mut || self.next_u64())
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seeding (subset of upstream `SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Non-reproducible seeding; here it just mixes the current process
+    /// time, which is plenty for the few call sites that want "any seed".
+    fn from_entropy() -> Self {
+        // Deliberately deterministic-ish: offline CI has no entropy needs.
+        Self::seed_from_u64(0x5EED_CAFE_F00D_D00D)
+    }
+}
+
+pub mod rngs {
+    //! RNG implementations (subset: [`StdRng`], [`SmallRng`]).
+
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// Stand-in for upstream `StdRng` — SplitMix64 under the hood.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        #[inline]
+        fn seed_from_u64(seed: u64) -> Self {
+            // One warm-up step decorrelates small seeds (0, 1, 2, …).
+            let mut state = seed;
+            let _ = splitmix64(&mut state);
+            Self { state }
+        }
+    }
+
+    /// Alias: the workspace never relies on `SmallRng`'s distinct stream.
+    pub type SmallRng = StdRng;
+}
+
+/// Convenience free function mirroring `rand::random`.
+pub fn random<T: Standard>() -> T {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    // ordering: a PRNG state bump needs atomicity, not cross-variable
+    // ordering — any interleaving of fetch_add still yields unique states.
+    static STATE: AtomicU64 = AtomicU64::new(0x1234_5678_9ABC_DEF0);
+    let mut s = STATE.fetch_add(GOLDEN_GAMMA, Ordering::Relaxed);
+    T::draw(&mut || splitmix64(&mut s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_not_degenerate() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "uniform mean off: {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(3.0f64..9.0);
+            assert!((3.0..9.0).contains(&x));
+            let n = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&n));
+            let i = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` widely but only
+//! *exercises* serialization through `serde_json`, whose stub fails
+//! politely (all JSON the repo's CI depends on is hand-rolled — see
+//! `verus-bench::output` and `verus-trace::export`). So the traits here
+//! are empty markers with blanket impls: every bound like
+//! `T: Serialize` is satisfied, every derive is a no-op, and nothing
+//! can actually serialize.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    //! Deserialization traits (marker subset).
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    //! Serialization traits (marker subset).
+    pub use crate::Serialize;
+}
+
+// Derive macros live in the macro namespace, the traits above in the
+// type namespace — same dual-export trick the real crate uses.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real derives generate `Serialize`/`Deserialize` impls; here the
+//! `serde` stub provides blanket impls for every type, so these derives
+//! only need to *exist* (so `#[derive(Serialize, Deserialize)]` parses)
+//! and to register the `#[serde(...)]` helper attribute. They expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the `serde` stub's blanket impl covers the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the `serde` stub's blanket impl covers the type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Real serialization needs the real derive machinery, which an offline
+//! container can't have; every entry point here returns
+//! [`Error::Unsupported`] instead. Call sites in this workspace already
+//! treat serialization as fallible and degrade gracefully
+//! (`verus-bench::output::write_json` warns; `verus-cellular`'s trace
+//! JSON I/O propagates the error), and everything CI validates with jq
+//! is written by hand-rolled formatters, not through this crate.
+
+use std::fmt;
+use std::io;
+
+/// The single error this stub produces.
+#[derive(Debug)]
+pub enum Error {
+    /// Serialization is unavailable in the offline build.
+    Unsupported,
+    /// An I/O error wrapped for `From<io::Error>` conversions.
+    Io(io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Unsupported => {
+                write!(f, "serde_json stub: JSON codec unavailable in offline build")
+            }
+            Self::Io(e) => write!(f, "serde_json stub: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// `Result` alias matching upstream.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Always fails: see crate docs.
+pub fn to_string<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error::Unsupported)
+}
+
+/// Always fails: see crate docs.
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(_value: &T) -> Result<String> {
+    Err(Error::Unsupported)
+}
+
+/// Always fails: see crate docs.
+pub fn to_writer<W: io::Write, T: ?Sized + serde::Serialize>(
+    _writer: W,
+    _value: &T,
+) -> Result<()> {
+    Err(Error::Unsupported)
+}
+
+/// Always fails: see crate docs.
+pub fn from_str<T: serde::DeserializeOwned>(_s: &str) -> Result<T> {
+    Err(Error::Unsupported)
+}
+
+/// Always fails: see crate docs.
+pub fn from_reader<R: io::Read, T: serde::DeserializeOwned>(_reader: R) -> Result<T> {
+    Err(Error::Unsupported)
+}
+
+/// Always fails: see crate docs.
+pub fn from_slice<T: serde::DeserializeOwned>(_v: &[u8]) -> Result<T> {
+    Err(Error::Unsupported)
+}
