@@ -167,6 +167,7 @@ fn report_ledger(r: &FlowReport) -> Ledger {
         impaired_lost: r.impaired_lost,
         queue_drops: r.queue_drops,
         corrupt_dropped: r.corrupt_dropped,
+        shed_dropped: r.shed_dropped,
         in_queue: r.residual_in_queue,
         in_transit: r.residual_in_transit,
         delivered: r.delivered,

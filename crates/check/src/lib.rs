@@ -25,6 +25,7 @@
 //! | `atomic-ordering-justified` | lib/bin everywhere, non-test  | `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` without a same-line `// ordering:` comment |
 //! | `no-thread-outside-transport` | lib/bin outside `transport`/`model` (+ `bench/src/parallel.rs`), non-test | `thread::spawn`, `thread::scope`, `thread::Builder` |
 //! | `no-shared-mut-static` | everywhere                         | `static mut` |
+//! | `no-unwrap-in-transport` (warn) | `transport` lib/bin, non-test | `.unwrap()`, `.expect(` (panics kill the supervision thread) |
 //! | `stale-suppression` (warn) | everywhere                     | an `allow(...)` marker that no longer suppresses anything |
 //!
 //! A violation is silenced by an `allow(<rule>)` list spelled after the
@@ -66,6 +67,7 @@ pub const RULES: &[&str] = &[
     "atomic-ordering-justified",
     "no-thread-outside-transport",
     "no-shared-mut-static",
+    "no-unwrap-in-transport",
     "stale-suppression",
 ];
 

@@ -16,8 +16,9 @@ use crate::TargetKind;
 ///
 /// `Deny` findings fail CI (non-zero exit, non-empty `deny` bucket in
 /// `--json`). `Warn` findings are reported but do not fail the CLI on
-/// their own — the only warn-level rule today is `stale-suppression`,
-/// and the tier-1 workspace test still requires zero of those in-tree.
+/// their own — the warn-level rules today are `stale-suppression` and
+/// `no-unwrap-in-transport` — and the tier-1 workspace test still
+/// requires zero of those in-tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
     /// Reported; does not fail the CLI exit code.
@@ -175,13 +176,22 @@ fn msg_static_mut(needle: &str, _krate: &str) -> String {
     )
 }
 
+fn msg_unwrap_transport(needle: &str, _krate: &str) -> String {
+    format!(
+        "`{needle}` in transport non-test code: a panic here kills the \
+         session-supervision thread the resilience layer depends on; \
+         return/propagate an error or restructure so the state is impossible"
+    )
+}
+
 /// The rule table, in evaluation (and documentation) order.
 ///
 /// The first seven rows predate the token-level engine and keep their
-/// original semantics and message text; the last four are the
-/// determinism/concurrency family. `stale-suppression` is not a row
-/// here — it is synthesized by the engine's post-pass over unused
-/// `allow(...)` markers.
+/// original semantics and message text; after them come the
+/// determinism/concurrency family and the warn-level transport
+/// robustness rule. `stale-suppression` is not a row here — it is
+/// synthesized by the engine's post-pass over unused `allow(...)`
+/// markers.
 pub const RULESET: &[Rule] = &[
     Rule {
         name: "no-wallclock",
@@ -325,6 +335,23 @@ pub const RULESET: &[Rule] = &[
         exempt_files: &[],
         matcher: Matcher::Patterns(&["static mut"]),
         message: msg_static_mut,
+    },
+    Rule {
+        // The transport crate is where panics are most expensive: an
+        // `unwrap()` on a socket path takes down the supervision thread
+        // that exists precisely to survive bad network states. Warn
+        // rather than deny — transport code legitimately asserts
+        // programming contracts (`panic!` stays allowed) — but the
+        // tier-1 workspace test requires zero warns in-tree, so every
+        // hit must be fixed or explicitly suppressed with a reason.
+        name: "no-unwrap-in-transport",
+        severity: Severity::Warn,
+        scope: Scope::Crates(&["transport"]),
+        targets: LIB_AND_BIN,
+        skip_cfg_test: true,
+        exempt_files: &[],
+        matcher: Matcher::Patterns(&[".unwrap()", ".expect("]),
+        message: msg_unwrap_transport,
     },
 ];
 

@@ -496,6 +496,72 @@ fn immutable_and_thread_local_statics_are_clean() {
     assert!(scan("crates/bench/src/output.rs", text).is_empty());
 }
 
+// ---------------------------------------------------- no-unwrap-in-transport
+
+#[test]
+fn unwrap_in_transport_lib_warns() {
+    let d = scan(
+        "crates/transport/src/session.rs",
+        "fn f() { v.pop().unwrap(); }\nfn g() { r.lock().expect(\"poisoned\"); }\n",
+    );
+    assert_eq!(rules(&d), ["no-unwrap-in-transport", "no-unwrap-in-transport"]);
+    assert_eq!(d[0].severity, verus_check::Severity::Warn);
+    assert_eq!(d[0].line, 1);
+    assert_eq!(d[1].line, 2);
+}
+
+#[test]
+fn unwrap_in_transport_bin_warns() {
+    let d = scan(
+        "crates/transport/src/bin/probe.rs",
+        "fn main() { run().unwrap(); }\n",
+    );
+    assert_eq!(rules(&d), ["no-unwrap-in-transport"]);
+}
+
+#[test]
+fn panic_in_transport_is_allowed() {
+    // Unlike `no-unwrap-in-lib`, `panic!` stays legal: transport code
+    // asserts programming contracts (e.g. config validation) with it.
+    let d = scan(
+        "crates/transport/src/session.rs",
+        "fn f() { panic!(\"bad config\"); }\n",
+    );
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn unwrap_in_transport_tests_is_out_of_scope() {
+    let in_test_mod =
+        "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { v.pop().unwrap(); }\n}\n";
+    assert!(scan("crates/transport/src/session.rs", in_test_mod).is_empty());
+    assert!(scan(
+        "crates/transport/tests/t.rs",
+        "fn f() { v.pop().unwrap(); }\n"
+    )
+    .is_empty());
+}
+
+#[test]
+fn unwrap_outside_transport_is_not_this_rules_business() {
+    // `bench` is covered by neither unwrap rule.
+    let d = scan("crates/bench/src/output.rs", "fn f() { v.pop().unwrap(); }\n");
+    assert!(d.is_empty(), "{d:?}");
+    // `core` unwraps trip the deny-level lib rule instead.
+    let d = scan("crates/core/src/foo.rs", "fn f() { v.pop().unwrap(); }\n");
+    assert_eq!(rules(&d), ["no-unwrap-in-lib"]);
+}
+
+#[test]
+fn unwrap_in_transport_suppression_works_and_is_not_stale() {
+    let report = verus_check::scan_file(
+        Path::new("crates/transport/src/session.rs"),
+        "fn f() { v.pop().unwrap(); } // verus-check: allow(no-unwrap-in-transport)\n",
+    );
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert!(report.stale.is_empty(), "{:?}", report.stale);
+}
+
 // ------------------------------------------------------------------ severity
 
 #[test]

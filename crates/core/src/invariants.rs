@@ -37,6 +37,7 @@ use serde::{Deserialize, Serialize};
 pub const ENABLED: bool = cfg!(any(debug_assertions, feature = "strict-invariants"));
 
 /// Tolerance for floating-point comparisons in the checks.
+#[cfg(any(debug_assertions, feature = "strict-invariants"))]
 const EPS: f64 = 1e-9;
 
 /// The phase-transition legality table (paper Figure 5).

@@ -641,6 +641,49 @@ impl CongestionControl for VerusCc {
         self.trace = trace;
     }
 
+    fn on_session_resumed(&mut self, now: SimTime) {
+        // The session layer re-established the connection after a
+        // disruption. Everything learned about the *link* (delay
+        // profile, Dmin/Dmax estimates) is worth keeping; everything
+        // that tracked the *disruption* (RTO escalation, recovery
+        // bookkeeping, pin counters) is stale and must go, or the
+        // resumed connection starts life half-collapsed.
+        self.consecutive_timeouts = 0;
+        self.loss.reset();
+        self.loss_event_point = None;
+        self.epochs_pinned = 0;
+        self.pinned_delays.clear();
+        self.credit = 0.0;
+        if self.window_est.is_some() {
+            // The learned model survived the disruption: resume in
+            // congestion avoidance at a conservative window, with the
+            // set point re-anchored at the current delay level so the
+            // first post-resume epochs don't chase a pre-blackout Dest.
+            self.set_phase(Phase::CongestionAvoidance);
+            self.w_cur = self.config.min_window;
+            if let (Some(w), Some(dmax)) =
+                (self.window_est.as_mut(), self.delay_est.dmax_ms())
+            {
+                w.reset(dmax);
+            }
+            self.next_refit = now + self.config.update_interval;
+        } else if self.phase == Phase::SlowStart && self.profiler.len() >= 2 {
+            // A blackout escape dropped the estimator but the profiler
+            // still holds the learned curve: rebuild the estimator from
+            // it instead of re-probing the channel one packet at a time.
+            self.enter_congestion_avoidance(now);
+            self.w_cur = self.config.min_window;
+        }
+        // A genuinely cold controller (no profile yet) keeps probing in
+        // slow start — resumption has nothing to warm-restart from.
+        invariants::window_bounds(
+            self.phase,
+            self.w_cur,
+            self.config.min_window,
+            self.config.max_window,
+        );
+    }
+
     fn window(&self) -> f64 {
         self.w_cur
     }
@@ -915,6 +958,58 @@ mod tests {
         }
         assert_eq!(cc.phase(), Phase::Recovery, "escape hatch must stay off");
         assert_eq!(cc.consecutive_timeouts(), 6);
+    }
+
+    #[test]
+    fn session_resume_with_profile_reenters_ca_conservatively() {
+        // Disruption short of a blackout escape: the estimator survives,
+        // so resumption re-enters CA at the floor with clean loss state.
+        let mut cc = VerusCc::default();
+        run_slow_start(&mut cc, 10.0, 2.0);
+        timeout_at(&mut cc, 2, 1);
+        timeout_at(&mut cc, 3, 2);
+        assert_eq!(cc.phase(), Phase::Recovery);
+        cc.on_session_resumed(SimTime::from_secs(4));
+        assert_eq!(cc.phase(), Phase::CongestionAvoidance);
+        assert_eq!(cc.window(), cc.config().min_window);
+        assert_eq!(cc.consecutive_timeouts(), 0, "RTO streak must clear");
+        assert!(cc.window_est.is_some(), "learned estimator must survive");
+        assert!(cc.phase_audit().all_legal());
+    }
+
+    #[test]
+    fn session_resume_after_blackout_escape_warm_restarts_from_profiler() {
+        // A full blackout escape dropped the estimator and re-entered
+        // slow start — but the profiler still holds the learned curve,
+        // so resumption rebuilds the estimator instead of probing from
+        // one packet.
+        let mut cc = VerusCc::default();
+        run_slow_start(&mut cc, 10.0, 2.0);
+        for secs in 2..5 {
+            timeout_at(&mut cc, secs, secs - 1);
+        }
+        assert_eq!(cc.phase(), Phase::SlowStart);
+        assert!(cc.window_est.is_none());
+        cc.on_session_resumed(SimTime::from_secs(6));
+        assert_eq!(
+            cc.phase(),
+            Phase::CongestionAvoidance,
+            "resume must warm-restart, not cold slow start"
+        );
+        assert!(cc.window_est.is_some());
+        assert_eq!(cc.window(), cc.config().min_window);
+        assert!(cc.phase_audit().all_legal());
+    }
+
+    #[test]
+    fn session_resume_on_cold_controller_keeps_probing() {
+        // Nothing learned yet: resumption has no model to restore, so
+        // the controller stays in slow start at one packet.
+        let mut cc = VerusCc::default();
+        cc.on_session_resumed(SimTime::from_secs(1));
+        assert_eq!(cc.phase(), Phase::SlowStart);
+        assert_eq!(cc.window(), 1.0);
+        assert!(cc.window_est.is_none());
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Adversarial impairment scripts for chaos soaks.
+//!
+//! The impairment pipeline (`crate::impairment`) models individual fault
+//! mechanisms; this module composes them into the *scenarios* that break
+//! congestion controllers in the field — the paper's §6 outage runs and
+//! the handover/abrupt-capacity cases PAPERS.md's successors evaluate:
+//!
+//! * [`ChaosScript::FlappingBlackout`] — a link that dies and comes back
+//!   repeatedly (a train of outage windows with short live gaps), the
+//!   worst case for slow-start-from-scratch recovery;
+//! * [`ChaosScript::HandoverStorm`] — periodic sub-second gaps with
+//!   reordering, the inter-cell handover pattern;
+//! * [`ChaosScript::LossSpikeTrain`] — Gilbert–Elliott bursts, the
+//!   deep-fade loss pattern.
+//!
+//! [`ChaosSchedule`] compiles any combination into one
+//! [`ImpairmentConfig`] whose blackout windows are sorted and merged, so
+//! the compiled config always passes [`ImpairmentConfig::validate`] —
+//! scripts can overlap freely, normalization happens here. Compilation
+//! is pure and deterministic: same scripts + seed, same config.
+
+use verus_nettypes::{SimDuration, SimTime};
+
+use crate::impairment::{Blackout, ImpairmentConfig, LossModel};
+
+/// One adversarial fault pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosScript {
+    /// A train of `repeats` outages of length `outage`, separated by
+    /// `gap` of live link, starting at `start`.
+    FlappingBlackout {
+        /// First outage onset.
+        start: SimTime,
+        /// Length of each outage.
+        outage: SimDuration,
+        /// Live time between consecutive outages.
+        gap: SimDuration,
+        /// Number of outages.
+        repeats: u64,
+    },
+    /// Periodic short gaps (one per `period`) with packet reordering in
+    /// between — the inter-cell handover pattern.
+    HandoverStorm {
+        /// First handover onset.
+        start: SimTime,
+        /// Time between handover onsets (must exceed `gap_len`).
+        period: SimDuration,
+        /// Length of each handover gap.
+        gap_len: SimDuration,
+        /// Number of handovers.
+        repeats: u64,
+        /// Probability a packet is reordered between gaps.
+        reorder_prob: f64,
+    },
+    /// Gilbert–Elliott burst loss: mostly-clean link with loss spikes.
+    LossSpikeTrain {
+        /// P(enter spike) per packet.
+        p_enter: f64,
+        /// P(exit spike) per packet.
+        p_exit: f64,
+        /// Loss rate outside spikes.
+        base_loss: f64,
+        /// Loss rate inside spikes.
+        spike_loss: f64,
+    },
+}
+
+impl ChaosScript {
+    /// The outage windows this script contributes (unsorted, unmerged).
+    fn blackouts(&self) -> Vec<Blackout> {
+        match *self {
+            ChaosScript::FlappingBlackout {
+                start,
+                outage,
+                gap,
+                repeats,
+            } => (0..repeats)
+                .map(|i| Blackout {
+                    start: start + (outage + gap) * i,
+                    duration: outage,
+                })
+                .collect(),
+            ChaosScript::HandoverStorm {
+                start,
+                period,
+                gap_len,
+                repeats,
+                ..
+            } => (0..repeats)
+                .map(|i| Blackout {
+                    start: start + period * i,
+                    duration: gap_len,
+                })
+                .collect(),
+            ChaosScript::LossSpikeTrain { .. } => Vec::new(),
+        }
+    }
+}
+
+/// A composition of [`ChaosScript`]s plus the impairment RNG seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSchedule {
+    seed: u64,
+    scripts: Vec<ChaosScript>,
+}
+
+impl ChaosSchedule {
+    /// An empty schedule (compiles to a no-op pipeline) seeding the
+    /// impairment RNG stream with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            scripts: Vec::new(),
+        }
+    }
+
+    /// Adds a script to the composition.
+    #[must_use]
+    pub fn with(mut self, script: ChaosScript) -> Self {
+        self.scripts.push(script);
+        self
+    }
+
+    /// The merged, sorted outage windows of the whole composition —
+    /// chaos soaks measure recovery time from each window's end, so they
+    /// need the same normalized view the compiled config carries.
+    #[must_use]
+    pub fn blackout_windows(&self) -> Vec<Blackout> {
+        let mut windows: Vec<Blackout> = self
+            .scripts
+            .iter()
+            .flat_map(ChaosScript::blackouts)
+            .collect();
+        windows.sort_by_key(|b| (b.start, b.duration));
+        let mut merged: Vec<Blackout> = Vec::with_capacity(windows.len());
+        for w in windows {
+            match merged.last_mut() {
+                // Coalesce overlapping *and* touching windows: the
+                // union is what the link experiences either way.
+                Some(prev) if w.start <= prev.end() => {
+                    if w.end() > prev.end() {
+                        prev.duration = w.end().saturating_since(prev.start);
+                    }
+                }
+                _ => merged.push(w),
+            }
+        }
+        merged
+    }
+
+    /// Compiles the composition into a validated [`ImpairmentConfig`].
+    ///
+    /// Blackouts are merged ([`Self::blackout_windows`]); reorder
+    /// probabilities take the maximum across scripts; at most one
+    /// [`ChaosScript::LossSpikeTrain`] may set the loss model (a second
+    /// one is an error — two GE chains cannot be composed into one).
+    pub fn compile(&self) -> Result<ImpairmentConfig, String> {
+        let mut cfg = ImpairmentConfig {
+            seed: self.seed,
+            ..ImpairmentConfig::default()
+        };
+        for s in &self.scripts {
+            match *s {
+                ChaosScript::HandoverStorm {
+                    period,
+                    gap_len,
+                    reorder_prob,
+                    ..
+                } => {
+                    if period <= gap_len {
+                        return Err(format!(
+                            "handover storm period ({} ns) must exceed its gap \
+                             length ({} ns)",
+                            period.as_nanos(),
+                            gap_len.as_nanos(),
+                        ));
+                    }
+                    if reorder_prob > cfg.reorder_prob {
+                        cfg.reorder_prob = reorder_prob;
+                    }
+                }
+                ChaosScript::LossSpikeTrain {
+                    p_enter,
+                    p_exit,
+                    base_loss,
+                    spike_loss,
+                } => {
+                    if cfg.loss != LossModel::None {
+                        return Err(
+                            "at most one LossSpikeTrain may set the loss model".into()
+                        );
+                    }
+                    cfg.loss = LossModel::GilbertElliott {
+                        p_good_to_bad: p_enter,
+                        p_bad_to_good: p_exit,
+                        loss_good: base_loss,
+                        loss_bad: spike_loss,
+                    };
+                }
+                ChaosScript::FlappingBlackout { .. } => {}
+            }
+        }
+        cfg.blackouts = self.blackout_windows();
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flap(start_s: u64, outage_s: u64, gap_s: u64, repeats: u64) -> ChaosScript {
+        ChaosScript::FlappingBlackout {
+            start: SimTime::from_secs(start_s),
+            outage: SimDuration::from_secs(outage_s),
+            gap: SimDuration::from_secs(gap_s),
+            repeats,
+        }
+    }
+
+    #[test]
+    fn flapping_blackout_lays_out_a_train() {
+        let windows = ChaosSchedule::new(1).with(flap(10, 2, 3, 3)).blackout_windows();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].start, SimTime::from_secs(10));
+        assert_eq!(windows[1].start, SimTime::from_secs(15));
+        assert_eq!(windows[2].start, SimTime::from_secs(20));
+        for w in &windows {
+            assert_eq!(w.duration, SimDuration::from_secs(2));
+        }
+    }
+
+    #[test]
+    fn overlapping_scripts_merge_and_validate() {
+        // Two flap trains that interleave and overlap; the compiled
+        // config must still pass the sorted/non-overlapping validator.
+        let sched = ChaosSchedule::new(7)
+            .with(flap(10, 3, 2, 2))
+            .with(flap(11, 3, 1, 3));
+        let cfg = sched.compile().expect("merged schedule must validate");
+        assert!(cfg.validate().is_ok());
+        let windows = sched.blackout_windows();
+        for pair in windows.windows(2) {
+            assert!(pair[1].start >= pair[0].end(), "windows overlap: {windows:?}");
+        }
+        // The 10–13 s and 11–14 s windows union to 10–14 s.
+        assert_eq!(windows[0].start, SimTime::from_secs(10));
+        assert_eq!(windows[0].end(), SimTime::from_secs(14));
+    }
+
+    #[test]
+    fn handover_storm_contributes_gaps_and_reordering() {
+        let cfg = ChaosSchedule::new(3)
+            .with(ChaosScript::HandoverStorm {
+                start: SimTime::from_secs(5),
+                period: SimDuration::from_secs(4),
+                gap_len: SimDuration::from_millis(400),
+                repeats: 4,
+                reorder_prob: 0.02,
+            })
+            .compile()
+            .expect("storm compiles");
+        assert_eq!(cfg.blackouts.len(), 4);
+        assert_eq!(cfg.reorder_prob, 0.02);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn storm_period_must_exceed_gap() {
+        let err = ChaosSchedule::new(3)
+            .with(ChaosScript::HandoverStorm {
+                start: SimTime::from_secs(5),
+                period: SimDuration::from_millis(300),
+                gap_len: SimDuration::from_millis(400),
+                repeats: 2,
+                reorder_prob: 0.0,
+            })
+            .compile()
+            .expect_err("overlapping storm must be rejected");
+        assert!(err.contains("period"), "{err}");
+    }
+
+    #[test]
+    fn second_loss_model_is_rejected() {
+        let spike = ChaosScript::LossSpikeTrain {
+            p_enter: 0.05,
+            p_exit: 0.45,
+            base_loss: 0.0,
+            spike_loss: 1.0,
+        };
+        let err = ChaosSchedule::new(9)
+            .with(spike.clone())
+            .with(spike)
+            .compile()
+            .expect_err("two GE chains cannot compose");
+        assert!(err.contains("LossSpikeTrain"), "{err}");
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let make = || {
+            ChaosSchedule::new(42)
+                .with(flap(2, 1, 1, 5))
+                .with(ChaosScript::LossSpikeTrain {
+                    p_enter: 0.05,
+                    p_exit: 0.45,
+                    base_loss: 0.001,
+                    spike_loss: 0.8,
+                })
+                .compile()
+                .expect("compiles")
+        };
+        assert_eq!(make(), make());
+    }
+}

@@ -61,6 +61,13 @@ pub struct FlowConfig {
     /// bytes have been handed to the network, and its report records the
     /// delivery time of the last byte as the flow-completion time.
     pub transfer_bytes: Option<u64>,
+    /// Overload guard: when the outstanding table already holds this many
+    /// packets, further quota is shed explicitly into the report's
+    /// `shed_dropped` ledger column instead of being launched (the
+    /// packets still consume sequence numbers and controller credit, so
+    /// pacing is unaffected). `None` (the default) never sheds —
+    /// existing configurations keep their behaviour exactly.
+    pub shed_outstanding_cap: Option<usize>,
 }
 
 impl FlowConfig {
@@ -88,6 +95,7 @@ impl FlowConfig {
             packet_bytes: 1400,
             loss_detection,
             transfer_bytes: None,
+            shed_outstanding_cap: None,
         }
     }
 
@@ -95,6 +103,15 @@ impl FlowConfig {
     #[must_use]
     pub fn with_transfer(mut self, bytes: u64) -> Self {
         self.transfer_bytes = Some(bytes);
+        self
+    }
+
+    /// Arms the overload guard: sheds quota into `shed_dropped` whenever
+    /// `cap` packets are already outstanding (see
+    /// [`Self::shed_outstanding_cap`]).
+    #[must_use]
+    pub fn with_shed_cap(mut self, cap: usize) -> Self {
+        self.shed_outstanding_cap = Some(cap);
         self
     }
 

@@ -127,8 +127,11 @@ pub struct ImpairmentConfig {
     /// Probability a departing packet is corrupted (delivered to the
     /// receiver's checksum, then discarded).
     pub corrupt_prob: f64,
-    /// Scheduled link outages. Overlapping windows are allowed (their
-    /// union applies).
+    /// Scheduled link outages. Windows must be sorted by start time and
+    /// non-overlapping ([`Self::validate`] rejects anything else): a
+    /// schedule with touching-but-disjoint windows is unambiguous, while
+    /// overlap almost always means two generators were merged without
+    /// normalization — `crate::chaos` scripts emit pre-merged windows.
     pub blackouts: Vec<Blackout>,
     /// Seed for the private impairment RNG stream.
     pub seed: u64,
@@ -160,6 +163,14 @@ impl ImpairmentConfig {
     }
 
     /// Validates probability ranges and blackout windows.
+    ///
+    /// Probabilities must be finite and in `[0, 1]` — NaN and negative
+    /// values get their own messages because they are the two silent
+    /// config-generation bugs (a NaN compares false to everything, so a
+    /// bare range check "passes through" it in the wrong direction; a
+    /// negative probability usually means a subtraction underflowed).
+    /// Blackout windows must be non-empty, sorted by start time, and
+    /// non-overlapping.
     pub fn validate(&self) -> Result<(), String> {
         let probs: &[(&str, f64)] = &[
             ("reorder_prob", self.reorder_prob),
@@ -167,16 +178,12 @@ impl ImpairmentConfig {
             ("corrupt_prob", self.corrupt_prob),
         ];
         for &(name, p) in probs {
-            if !(0.0..=1.0).contains(&p) {
-                return Err(format!("{name} must be in [0, 1], got {p}"));
-            }
+            check_probability(name, p)?;
         }
         match self.loss {
             LossModel::None => {}
             LossModel::Bernoulli { p } => {
-                if !(0.0..=1.0).contains(&p) {
-                    return Err(format!("Bernoulli loss p must be in [0, 1], got {p}"));
-                }
+                check_probability("Bernoulli loss p", p)?;
             }
             LossModel::GilbertElliott {
                 p_good_to_bad,
@@ -185,16 +192,12 @@ impl ImpairmentConfig {
                 loss_bad,
             } => {
                 for (name, p) in [
-                    ("p_good_to_bad", p_good_to_bad),
-                    ("p_bad_to_good", p_bad_to_good),
-                    ("loss_good", loss_good),
-                    ("loss_bad", loss_bad),
+                    ("Gilbert–Elliott p_good_to_bad", p_good_to_bad),
+                    ("Gilbert–Elliott p_bad_to_good", p_bad_to_good),
+                    ("Gilbert–Elliott loss_good", loss_good),
+                    ("Gilbert–Elliott loss_bad", loss_bad),
                 ] {
-                    if !(0.0..=1.0).contains(&p) {
-                        return Err(format!(
-                            "Gilbert–Elliott {name} must be in [0, 1], got {p}"
-                        ));
-                    }
+                    check_probability(name, p)?;
                 }
             }
         }
@@ -203,8 +206,46 @@ impl ImpairmentConfig {
                 return Err(format!("blackout {i} has zero duration"));
             }
         }
+        for (i, pair) in self.blackouts.windows(2).enumerate() {
+            let (prev, next) = (&pair[0], &pair[1]);
+            if next.start < prev.start {
+                return Err(format!(
+                    "blackouts must be sorted by start: window {} starts at {} ns, \
+                     before window {} at {} ns",
+                    i + 1,
+                    next.start.as_nanos(),
+                    i,
+                    prev.start.as_nanos(),
+                ));
+            }
+            if next.start < prev.end() {
+                return Err(format!(
+                    "blackouts must not overlap: window {} starts at {} ns, \
+                     inside window {} (ends {} ns)",
+                    i + 1,
+                    next.start.as_nanos(),
+                    i,
+                    prev.end().as_nanos(),
+                ));
+            }
+        }
         Ok(())
     }
+}
+
+/// Rejects NaN and out-of-range probabilities with cause-specific
+/// messages (see [`ImpairmentConfig::validate`]).
+fn check_probability(name: &str, p: f64) -> Result<(), String> {
+    if p.is_nan() {
+        return Err(format!("{name} must not be NaN"));
+    }
+    if p < 0.0 {
+        return Err(format!("{name} must not be negative, got {p}"));
+    }
+    if p > 1.0 {
+        return Err(format!("{name} must be in [0, 1], got {p}"));
+    }
+    Ok(())
 }
 
 /// Minimal deterministic PRNG (SplitMix64). The impairment layer owns
@@ -554,5 +595,102 @@ mod tests {
             ..ImpairmentConfig::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_nan_probabilities_by_name() {
+        let bad = ImpairmentConfig {
+            corrupt_prob: f64::NAN,
+            ..ImpairmentConfig::default()
+        };
+        let err = bad.validate().expect_err("NaN must be rejected");
+        assert!(err.contains("corrupt_prob"), "{err}");
+        assert!(err.contains("NaN"), "{err}");
+        let bad = ImpairmentConfig {
+            loss: LossModel::Bernoulli { p: f64::NAN },
+            ..ImpairmentConfig::default()
+        };
+        let err = bad.validate().expect_err("NaN loss p must be rejected");
+        assert!(err.contains("NaN"), "{err}");
+        let bad = ImpairmentConfig {
+            loss: LossModel::GilbertElliott {
+                p_good_to_bad: 0.1,
+                p_bad_to_good: 0.5,
+                loss_good: 0.0,
+                loss_bad: f64::NAN,
+            },
+            ..ImpairmentConfig::default()
+        };
+        let err = bad.validate().expect_err("NaN GE rate must be rejected");
+        assert!(err.contains("loss_bad"), "{err}");
+        assert!(err.contains("NaN"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_negative_probabilities_by_name() {
+        let bad = ImpairmentConfig {
+            duplicate_prob: -0.25,
+            ..ImpairmentConfig::default()
+        };
+        let err = bad.validate().expect_err("negative must be rejected");
+        assert!(err.contains("duplicate_prob"), "{err}");
+        assert!(err.contains("negative"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_unsorted_blackouts() {
+        let bad = ImpairmentConfig {
+            blackouts: vec![
+                Blackout {
+                    start: SimTime::from_secs(10),
+                    duration: SimDuration::from_secs(1),
+                },
+                Blackout {
+                    start: SimTime::from_secs(5),
+                    duration: SimDuration::from_secs(1),
+                },
+            ],
+            ..ImpairmentConfig::default()
+        };
+        let err = bad.validate().expect_err("unsorted must be rejected");
+        assert!(err.contains("sorted"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_overlapping_blackouts() {
+        let bad = ImpairmentConfig {
+            blackouts: vec![
+                Blackout {
+                    start: SimTime::from_secs(10),
+                    duration: SimDuration::from_secs(3),
+                },
+                Blackout {
+                    start: SimTime::from_secs(12),
+                    duration: SimDuration::from_secs(2),
+                },
+            ],
+            ..ImpairmentConfig::default()
+        };
+        let err = bad.validate().expect_err("overlap must be rejected");
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn validation_accepts_touching_sorted_blackouts() {
+        let ok = ImpairmentConfig {
+            blackouts: vec![
+                Blackout {
+                    start: SimTime::from_secs(10),
+                    duration: SimDuration::from_secs(2),
+                },
+                // Starts exactly where the previous ends: disjoint.
+                Blackout {
+                    start: SimTime::from_secs(12),
+                    duration: SimDuration::from_secs(2),
+                },
+            ],
+            ..ImpairmentConfig::default()
+        };
+        assert!(ok.validate().is_ok());
     }
 }

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! sent + dup_injected = radio_lost + impaired_lost + queue_drops
-//!                     + corrupt_dropped + in_queue + in_transit + delivered
+//!                     + corrupt_dropped + shed_dropped
+//!                     + in_queue + in_transit + delivered
 //! ```
 //!
 //! The left side is everything that entered the network (packets the
@@ -13,7 +14,10 @@
 //! right side is where each of them is now. `impaired_lost` counts
 //! blackout and Gilbert–Elliott/Bernoulli impairment losses;
 //! `corrupt_dropped` counts packets discarded by the receiver's
-//! checksum after traversing the link.
+//! checksum after traversing the link; `shed_dropped` counts packets
+//! the sender's overload guard refused to launch (they consumed a
+//! sequence number and congestion-control credit but never touched the
+//! link — explicit shedding instead of invisible blocking).
 //!
 //! The simulator maintains per-flow location counters and asserts this
 //! equation (plus queue-occupancy accounting) after **every** dispatched
@@ -44,6 +48,8 @@ pub struct Ledger {
     pub queue_drops: u64,
     /// Corrupted in flight and discarded at the receiver.
     pub corrupt_dropped: u64,
+    /// Shed by the sender's overload guard before reaching the link.
+    pub shed_dropped: u64,
     /// Currently waiting in the bottleneck queue.
     pub in_queue: u64,
     /// Departed the bottleneck, not yet delivered.
@@ -61,6 +67,7 @@ impl Ledger {
                 + self.impaired_lost
                 + self.queue_drops
                 + self.corrupt_dropped
+                + self.shed_dropped
                 + self.in_queue
                 + self.in_transit
                 + self.delivered
@@ -99,12 +106,13 @@ mod tests {
 
     fn ledger() -> Ledger {
         Ledger {
-            sent: 10,
+            sent: 11,
             dup_injected: 2,
             radio_lost: 1,
             impaired_lost: 2,
             queue_drops: 2,
             corrupt_dropped: 1,
+            shed_dropped: 1,
             in_queue: 3,
             in_transit: 1,
             delivered: 2,
@@ -135,6 +143,14 @@ mod tests {
         fn uncounted_duplicate_fires() {
             let mut l = ledger();
             l.dup_injected -= 1; // a duplicate entered but was not counted
+            packet_conservation(0, &l);
+        }
+
+        #[test]
+        #[should_panic(expected = "packet conservation violated")]
+        fn uncounted_shed_fires() {
+            let mut l = ledger();
+            l.shed_dropped -= 1; // a shed packet left no ledger trace
             packet_conservation(0, &l);
         }
 

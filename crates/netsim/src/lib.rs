@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod bottleneck;
+pub mod chaos;
 pub mod config;
 pub mod impairment;
 pub mod invariants;
@@ -40,6 +41,7 @@ pub mod sim;
 pub mod wheel;
 
 pub use bottleneck::{BottleneckConfig, FixedParams};
+pub use chaos::{ChaosSchedule, ChaosScript};
 pub use config::{FlowConfig, LossDetection, SimConfig};
 pub use impairment::{Blackout, ImpairmentConfig, Impairments, LossModel};
 pub use metrics::FlowReport;

@@ -42,6 +42,13 @@ pub struct FlowReport {
     pub impaired_lost: u64,
     /// Packets corrupted in flight and discarded at the receiver.
     pub corrupt_dropped: u64,
+    /// Packets shed by the sender's overload guard before reaching the
+    /// link (they consumed a sequence number and congestion-control
+    /// credit but were never launched); see
+    /// [`crate::FlowConfig::with_shed_cap`]. Reports serialized before
+    /// this column existed deserialize as 0.
+    #[serde(default)]
+    pub shed_dropped: u64,
     /// Duplicate copies injected by the impairment pipeline.
     pub dup_injected: u64,
     /// Packets still sitting in the bottleneck queue at simulation end.
@@ -111,6 +118,7 @@ impl FlowReport {
                 + self.impaired_lost
                 + self.queue_drops
                 + self.corrupt_dropped
+                + self.shed_dropped
                 + self.residual_in_queue
                 + self.residual_in_transit
                 + self.delivered
@@ -131,6 +139,7 @@ impl FlowReport {
             ("queue_drops", self.queue_drops),
             ("impaired_lost", self.impaired_lost),
             ("corrupt_dropped", self.corrupt_dropped),
+            ("shed_dropped", self.shed_dropped),
             ("dup_injected", self.dup_injected),
             ("residual_in_queue", self.residual_in_queue),
             ("residual_in_transit", self.residual_in_transit),
@@ -161,6 +170,7 @@ mod tests {
             queue_drops: 1,
             impaired_lost: 0,
             corrupt_dropped: 0,
+            shed_dropped: 0,
             dup_injected: 0,
             residual_in_queue: 0,
             residual_in_transit: 0,
@@ -194,6 +204,11 @@ mod tests {
         assert!(!r.ledger_balances());
         r.sent += 1;
         assert!(r.ledger_balances());
+        // Shed packets are part of the equation, not invisible.
+        r.shed_dropped = 3;
+        assert!(!r.ledger_balances());
+        r.sent += 3;
+        assert!(r.ledger_balances());
     }
 
     #[test]
@@ -212,6 +227,7 @@ mod tests {
             queue_drops: 0,
             impaired_lost: 0,
             corrupt_dropped: 0,
+            shed_dropped: 0,
             dup_injected: 0,
             residual_in_queue: 0,
             residual_in_transit: 0,

@@ -321,10 +321,18 @@ struct FlowState {
     in_transit: u64,
     impaired_lost: u64,
     corrupt_dropped: u64,
+    shed_dropped: u64,
     dup_injected: u64,
+    /// Overload guard: outstanding-table occupancy above which new
+    /// packets are shed into `shed_dropped` instead of launched
+    /// (`None` = never shed; see [`crate::FlowConfig::with_shed_cap`]).
+    shed_cap: Option<usize>,
 }
 
 impl FlowState {
+    // Only the per-event conservation assert reads this; release builds
+    // without `strict-invariants` check the report-level ledger instead.
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
     fn ledger(&self) -> crate::invariants::Ledger {
         crate::invariants::Ledger {
             sent: self.sent,
@@ -333,6 +341,7 @@ impl FlowState {
             impaired_lost: self.impaired_lost,
             queue_drops: self.queue_drops,
             corrupt_dropped: self.corrupt_dropped,
+            shed_dropped: self.shed_dropped,
             in_queue: self.in_queue,
             in_transit: self.in_transit,
             delivered: self.delivered,
@@ -448,7 +457,9 @@ impl Simulation {
                 in_transit: 0,
                 impaired_lost: 0,
                 corrupt_dropped: 0,
+                shed_dropped: 0,
                 dup_injected: 0,
+                shed_cap: f.shed_outstanding_cap,
             })
             .collect();
 
@@ -714,6 +725,7 @@ impl Simulation {
                 queue_drops: f.queue_drops,
                 impaired_lost: f.impaired_lost,
                 corrupt_dropped: f.corrupt_dropped,
+                shed_dropped: f.shed_dropped,
                 dup_injected: f.dup_injected,
                 residual_in_queue: f.in_queue,
                 residual_in_transit: f.in_transit,
@@ -947,6 +959,19 @@ impl Simulation {
                 }
                 None => usize::MAX,
             };
+            // Overload guard: above the configured outstanding cap, this
+            // quota batch is shed explicitly into the ledger instead of
+            // launched. One batch only, then stop pumping — shedding does
+            // not grow `in_flight`, so a window-based controller would
+            // grant the same quota forever if we looped.
+            if let Some(cap) = self.flows[flow].shed_cap {
+                if in_flight >= cap {
+                    for _ in 0..quota.min(remaining_pkts) {
+                        self.shed_packet(flow);
+                    }
+                    break;
+                }
+            }
             for _ in 0..quota.min(remaining_pkts) {
                 self.send_packet(flow);
             }
@@ -954,6 +979,21 @@ impl Simulation {
                 break;
             }
         }
+    }
+
+    /// Sheds one packet at the overload guard: it consumes a sequence
+    /// number and congestion-control credit exactly like a real send (so
+    /// the controller's pacing sees it), but goes straight to the
+    /// `shed_dropped` ledger bucket — never into the outstanding table,
+    /// never onto the link, and it arms no retransmission timer.
+    fn shed_packet(&mut self, flow: usize) {
+        let now = self.now;
+        let f = &mut self.flows[flow];
+        let seq = f.next_seq;
+        f.next_seq += 1;
+        f.sent += 1;
+        f.shed_dropped += 1;
+        f.cc.on_packet_sent(now, seq, u64::from(f.packet_bytes));
     }
 
     fn send_packet(&mut self, flow: usize) {

@@ -104,6 +104,18 @@ pub trait CongestionControl: Send {
     /// before the first callback.
     fn attach_trace(&mut self, _trace: TraceHandle) {}
 
+    /// The session layer re-established a connection after a disruption
+    /// (blackout, silent peer) and is resuming this controller instead
+    /// of constructing a fresh one.
+    ///
+    /// Controllers that learn link state (Verus' delay profile) use this
+    /// to warm-restart: keep the learned model, clear disruption-era
+    /// transients (RTO escalation, loss bookkeeping), and re-enter a
+    /// sane phase at a conservative window. The default does nothing —
+    /// memoryless controllers just keep going, which is also the
+    /// pre-session-layer behaviour.
+    fn on_session_resumed(&mut self, _now: SimTime) {}
+
     /// Current window/budget in packets, for logging and plots.
     fn window(&self) -> f64;
 

@@ -15,15 +15,22 @@
 //! {"type":"epoch","t_ns":…,"epoch":…,"phase":…,"window":…,"dest_ms":…,"delay_ms":…,"decision":…,"headroom":…}
 //! {"type":"packet","t_ns":…,"kind":…,"seq":…,"bytes":…,"window":…,"rtt_ms":…}
 //! {"type":"profile","t_ns":…,"generation":…,"samples":[[w,d],…]}
-//! {"type":"summary","epochs":…,"packets":…,"profiles":…,"dropped_epochs":…,"dropped_packets":…,"dropped_profiles":…,"counters":{…}}
+//! {"type":"session","t_ns":…,"kind":…,"state":…,"retries":…,"elapsed_ns":…}
+//! {"type":"summary","epochs":…,"packets":…,"profiles":…,"sessions":…,"dropped_epochs":…,"dropped_packets":…,"dropped_profiles":…,"dropped_sessions":…,"counters":{…}}
 //! ```
 //!
 //! Record streams are written as blocks (epochs, then packets, then
-//! profiles); each block is internally time-ordered.
+//! profiles, then sessions); each block is internally time-ordered.
+//! Session lines only appear in traces from the supervised transport —
+//! plain controller captures contain none. The parser accepts summary
+//! records without the `sessions`/`dropped_sessions` fields (defaulting
+//! them to 0) so artifacts written before the session stream existed
+//! still load.
 
 use crate::recorder::{DropCounts, Recorder};
 use crate::schema::{
-    DeltaDecision, EpochRecord, PacketKind, PacketRecord, ProfileSnapshot, TracePhase,
+    DeltaDecision, EpochRecord, PacketKind, PacketRecord, ProfileSnapshot, SessionEventKind,
+    SessionRecord, SessionState, TracePhase,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -113,6 +120,18 @@ fn profile_line(s: &ProfileSnapshot) -> String {
     )
 }
 
+fn session_line(r: &SessionRecord) -> String {
+    format!(
+        "{{\"type\":\"session\",\"t_ns\":{},\"kind\":{},\"state\":{},\"retries\":{},\
+         \"elapsed_ns\":{}}}",
+        r.t_ns,
+        json_str(r.kind.as_str()),
+        json_str(r.state.as_str()),
+        r.retries,
+        r.elapsed_ns,
+    )
+}
+
 /// Serializes a recorded trace to JSONL. `substrate` names the producer
 /// (`"netsim"` / `"transport"`); `clock` names the timestamp domain
 /// (`"sim"` / `"wall"`).
@@ -138,6 +157,10 @@ pub fn to_jsonl(rec: &Recorder, substrate: &str, clock: &str) -> String {
         out.push_str(&profile_line(s));
         out.push('\n');
     }
+    for s in rec.sessions() {
+        out.push_str(&session_line(s));
+        out.push('\n');
+    }
     let d = rec.dropped();
     let mut counters = String::from("{");
     for (i, (k, v)) in rec.counters().iter().enumerate() {
@@ -150,14 +173,16 @@ pub fn to_jsonl(rec: &Recorder, substrate: &str, clock: &str) -> String {
     let _ = writeln!(
         out,
         "{{\"type\":\"summary\",\"epochs\":{},\"packets\":{},\"profiles\":{},\
-         \"dropped_epochs\":{},\"dropped_packets\":{},\"dropped_profiles\":{},\
-         \"counters\":{}}}",
+         \"sessions\":{},\"dropped_epochs\":{},\"dropped_packets\":{},\
+         \"dropped_profiles\":{},\"dropped_sessions\":{},\"counters\":{}}}",
         rec.epochs().len(),
         rec.packets().len(),
         rec.profiles().len(),
+        rec.sessions().len(),
         d.epochs,
         d.packets,
         d.profiles,
+        d.sessions,
         counters
     );
     out
@@ -475,6 +500,17 @@ fn req_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("field {key:?} is not a u64"))
 }
 
+/// A `u64` field defaulting to 0 when absent — for summary fields added
+/// after artifacts were committed (missing field ≠ malformed file).
+fn opt_u64(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
+    match obj.iter().find(|(k, _)| k == key) {
+        None => Ok(0),
+        Some((_, v)) => v
+            .as_u64()
+            .ok_or_else(|| format!("field {key:?} is not a u64")),
+    }
+}
+
 fn req_f64(obj: &[(String, Json)], key: &str) -> Result<f64, String> {
     field(obj, key)?
         .as_f64()
@@ -502,6 +538,9 @@ pub struct TraceFile {
     pub packets: Vec<PacketRecord>,
     /// Profile snapshots in file order.
     pub profiles: Vec<ProfileSnapshot>,
+    /// Session lifecycle records in file order (empty for traces that
+    /// predate the session stream or ran without a supervisor).
+    pub sessions: Vec<SessionRecord>,
     /// Summary counters.
     pub counters: BTreeMap<String, u64>,
     /// Drop counters from the summary record.
@@ -595,11 +634,21 @@ pub fn parse_jsonl(text: &str) -> Result<TraceFile, String> {
                         samples,
                     });
                 }
+                "session" => out.sessions.push(SessionRecord {
+                    t_ns: req_u64(&obj, "t_ns")?,
+                    kind: SessionEventKind::from_str(req_str(&obj, "kind")?)
+                        .ok_or("unknown session event kind")?,
+                    state: SessionState::from_str(req_str(&obj, "state")?)
+                        .ok_or("unknown session state")?,
+                    retries: req_u64(&obj, "retries")?,
+                    elapsed_ns: req_u64(&obj, "elapsed_ns")?,
+                }),
                 "summary" => {
                     out.dropped = DropCounts {
                         epochs: req_u64(&obj, "dropped_epochs")?,
                         packets: req_u64(&obj, "dropped_packets")?,
                         profiles: req_u64(&obj, "dropped_profiles")?,
+                        sessions: opt_u64(&obj, "dropped_sessions")?,
                     };
                     let Json::Obj(raw) = field(&obj, "counters")? else {
                         return Err("counters is not an object".to_string());
@@ -674,6 +723,20 @@ mod tests {
             generation: 1,
             samples: vec![(1.0, 20.0), (8.0, 33.5)],
         });
+        r.on_session(&SessionRecord {
+            t_ns: 7_000_000,
+            kind: SessionEventKind::StateChange,
+            state: SessionState::Established,
+            retries: 0,
+            elapsed_ns: 2_000_000,
+        });
+        r.on_session(&SessionRecord {
+            t_ns: 50_000_000,
+            kind: SessionEventKind::RecoveryComplete,
+            state: SessionState::Established,
+            retries: 3,
+            elapsed_ns: 43_000_000,
+        });
         r.set_counter("sent", 2);
         r.set_counter("delivered", 1);
         r
@@ -690,9 +753,33 @@ mod tests {
         assert_eq!(parsed.epochs, rec.epochs());
         assert_eq!(parsed.packets, rec.packets());
         assert_eq!(parsed.profiles, rec.profiles());
+        assert_eq!(parsed.sessions, rec.sessions());
         assert_eq!(parsed.counters["sent"], 2);
         assert_eq!(parsed.counters["delivered"], 1);
         assert_eq!(parsed.dropped, DropCounts::default());
+    }
+
+    #[test]
+    fn summaries_without_session_fields_still_parse() {
+        // A pre-session-stream artifact: its summary has no `sessions` /
+        // `dropped_sessions` keys. Both default to 0.
+        let text = concat!(
+            "{\"type\":\"header\",\"schema\":\"verus-trace-v0\",\"substrate\":\"netsim\",\"clock\":\"sim\"}\n",
+            "{\"type\":\"summary\",\"epochs\":0,\"packets\":0,\"profiles\":0,\
+             \"dropped_epochs\":1,\"dropped_packets\":2,\"dropped_profiles\":3,\
+             \"counters\":{}}\n",
+        );
+        let parsed = parse_jsonl(text).expect("old artifact must parse");
+        assert!(parsed.sessions.is_empty());
+        assert_eq!(
+            parsed.dropped,
+            DropCounts {
+                epochs: 1,
+                packets: 2,
+                profiles: 3,
+                sessions: 0
+            }
+        );
     }
 
     #[test]
@@ -709,6 +796,10 @@ mod tests {
         assert_eq!(
             parsed.field_order["packet"],
             ["type", "t_ns", "kind", "seq", "bytes", "window", "rtt_ms"]
+        );
+        assert_eq!(
+            parsed.field_order["session"],
+            ["type", "t_ns", "kind", "state", "retries", "elapsed_ns"]
         );
     }
 

@@ -31,5 +31,8 @@ pub mod sink;
 
 pub use export::{epochs_csv, packets_csv, parse_jsonl, profiles_csv, to_jsonl, TraceFile, SCHEMA};
 pub use recorder::{DropCounts, Recorder, SharedRecorder};
-pub use schema::{DeltaDecision, EpochRecord, PacketKind, PacketRecord, ProfileSnapshot, TracePhase};
+pub use schema::{
+    DeltaDecision, EpochRecord, PacketKind, PacketRecord, ProfileSnapshot, SessionEventKind,
+    SessionRecord, SessionState, TracePhase,
+};
 pub use sink::{NullSink, TraceHandle, TraceSink};

@@ -12,7 +12,7 @@
 //! instrumented controller at refit time, roughly once per second —
 //! nowhere near the per-packet hot path).
 
-use crate::schema::{EpochRecord, PacketRecord, ProfileSnapshot};
+use crate::schema::{EpochRecord, PacketRecord, ProfileSnapshot, SessionRecord};
 use crate::sink::{TraceHandle, TraceSink};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -26,13 +26,15 @@ pub struct DropCounts {
     pub packets: u64,
     /// Profile snapshots dropped.
     pub profiles: u64,
+    /// Session lifecycle records dropped.
+    pub sessions: u64,
 }
 
 impl DropCounts {
     /// Total records dropped across all streams.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.epochs + self.packets + self.profiles
+        self.epochs + self.packets + self.profiles + self.sessions
     }
 }
 
@@ -46,6 +48,7 @@ pub struct Recorder {
     epochs: Vec<EpochRecord>,
     packets: Vec<PacketRecord>,
     profiles: Vec<ProfileSnapshot>,
+    sessions: Vec<SessionRecord>,
     dropped: DropCounts,
     /// Substrate summary counters (ledger totals, emulator forwarded/
     /// dropped, …) exported into the trace summary record.
@@ -60,6 +63,9 @@ impl Recorder {
     pub const DEFAULT_PACKETS: usize = 262_144;
     /// Default profile-snapshot capacity (~one refit per second).
     pub const DEFAULT_PROFILES: usize = 1_024;
+    /// Default session-record capacity (lifecycle events are rare — a
+    /// handful per disruption — so this covers hundreds of blackouts).
+    pub const DEFAULT_SESSIONS: usize = 1_024;
 
     /// A recorder with the default capacities.
     #[must_use]
@@ -72,16 +78,27 @@ impl Recorder {
     }
 
     /// A recorder with explicit per-stream capacities (all storage is
-    /// allocated here, up front).
+    /// allocated here, up front). The session stream gets
+    /// [`Self::DEFAULT_SESSIONS`]; override with
+    /// [`Self::with_session_capacity`].
     #[must_use]
     pub fn with_capacity(epochs: usize, packets: usize, profiles: usize) -> Self {
         Self {
             epochs: Vec::with_capacity(epochs),
             packets: Vec::with_capacity(packets),
             profiles: Vec::with_capacity(profiles),
+            sessions: Vec::with_capacity(Self::DEFAULT_SESSIONS),
             dropped: DropCounts::default(),
             counters: BTreeMap::new(),
         }
+    }
+
+    /// Replaces the session-record capacity (storage is reallocated
+    /// here, before recording starts).
+    #[must_use]
+    pub fn with_session_capacity(mut self, sessions: usize) -> Self {
+        self.sessions = Vec::with_capacity(sessions);
+        self
     }
 
     /// Wraps this recorder for sharing: the returned [`TraceHandle`]
@@ -109,6 +126,12 @@ impl Recorder {
     #[must_use]
     pub fn profiles(&self) -> &[ProfileSnapshot] {
         &self.profiles
+    }
+
+    /// Recorded session lifecycle events, in arrival order.
+    #[must_use]
+    pub fn sessions(&self) -> &[SessionRecord] {
+        &self.sessions
     }
 
     /// Drop counters.
@@ -139,6 +162,7 @@ impl Recorder {
         self.epochs.clear();
         self.packets.clear();
         self.profiles.clear();
+        self.sessions.clear();
         self.dropped = DropCounts::default();
         self.counters.clear();
     }
@@ -174,6 +198,14 @@ impl TraceSink for Recorder {
             self.profiles.push(snap.clone());
         } else {
             self.dropped.profiles += 1;
+        }
+    }
+
+    fn on_session(&mut self, rec: &SessionRecord) {
+        if self.sessions.len() < self.sessions.capacity() {
+            self.sessions.push(*rec);
+        } else {
+            self.dropped.sessions += 1;
         }
     }
 
@@ -256,7 +288,37 @@ mod tests {
         r.on_profile(&s);
         assert_eq!(r.epochs().len(), 1);
         assert_eq!(r.profiles().len(), 1);
-        assert_eq!(r.dropped(), DropCounts { epochs: 1, packets: 0, profiles: 1 });
+        assert_eq!(
+            r.dropped(),
+            DropCounts {
+                epochs: 1,
+                packets: 0,
+                profiles: 1,
+                sessions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn session_stream_is_bounded_and_counts_drops() {
+        use crate::schema::{SessionEventKind, SessionState};
+        let mut r = Recorder::with_capacity(1, 1, 1).with_session_capacity(2);
+        let rec = SessionRecord {
+            t_ns: 1,
+            kind: SessionEventKind::StateChange,
+            state: SessionState::Established,
+            retries: 0,
+            elapsed_ns: 0,
+        };
+        for _ in 0..3 {
+            r.on_session(&rec);
+        }
+        assert_eq!(r.sessions().len(), 2);
+        assert_eq!(r.dropped().sessions, 1);
+        assert_eq!(r.dropped().total(), 1);
+        r.clear();
+        assert!(r.sessions().is_empty());
+        assert_eq!(r.dropped(), DropCounts::default());
     }
 
     #[test]

@@ -112,7 +112,10 @@ struct EmulatorShared {
     dropped: AtomicU64,
     received: AtomicU64,
     impaired: AtomicU64,
-    watchdog_fired: AtomicBool,
+    /// Microseconds on the shared [`WallClock`] when the silent-peer
+    /// watchdog fired; 0 = never (a genuine 0 µs fire is clamped to 1,
+    /// losing nothing at the watchdog's multi-second timescale).
+    watchdog_fired_at_us: AtomicU64,
 }
 
 /// A running emulator thread.
@@ -203,9 +206,14 @@ fn run_loop(
                 credit = 0;
             } else {
                 credit += u64::from(opp.bytes);
-                while let Some(head) = queue.front() {
-                    if head.len() as u64 <= credit {
-                        let payload = queue.pop_front().expect("peeked");
+                loop {
+                    let fits = queue
+                        .front()
+                        .is_some_and(|head| head.len() as u64 <= credit);
+                    if fits {
+                        let Some(payload) = queue.pop_front() else {
+                            break; // unreachable: front() was Some above
+                        };
                         credit -= payload.len() as u64;
                         backlog -= payload.len() as u64;
                         let fate = impairments.on_egress();
@@ -239,11 +247,16 @@ fn run_loop(
         }
 
         // 2. Release packets from the delay line.
-        while let Some(Reverse(head)) = delay_line.peek() {
-            if head.at > now {
+        loop {
+            if delay_line
+                .peek()
+                .is_none_or(|Reverse(head)| head.at > now)
+            {
                 break;
             }
-            let Reverse(item) = delay_line.pop().expect("peeked");
+            let Some(Reverse(item)) = delay_line.pop() else {
+                break; // unreachable: peek() was Some above
+            };
             if item.to_receiver {
                 if egress.send_to(&item.payload, config.receiver).is_ok() {
                     shared.forwarded.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
@@ -323,7 +336,9 @@ fn run_loop(
         // long, terminate cleanly instead of spinning forever.
         if let Some(idle) = config.watchdog_idle {
             if last_heard.elapsed() > idle {
-                shared.watchdog_fired.store(true, Ordering::Relaxed); // ordering: write-once status flag; readers only poll it
+                shared
+                    .watchdog_fired_at_us
+                    .store(clock.now_micros().max(1), Ordering::Relaxed); // ordering: write-once status timestamp; readers only poll it
                 break;
             }
         }
@@ -399,7 +414,17 @@ impl EmulatorHandle {
     /// Whether the silent-peer watchdog shut the emulator down.
     #[must_use]
     pub fn watchdog_fired(&self) -> bool {
-        self.shared.watchdog_fired.load(Ordering::Relaxed) // ordering: write-once flag poll; staleness is acceptable
+        self.watchdog_fired_at_us().is_some()
+    }
+
+    /// *When* the watchdog fired, in microseconds on the shared
+    /// [`WallClock`] — `None` if it never did. Post-mortems correlate
+    /// this against the sender's session transitions to tell "emulator
+    /// gave up" from "sender went quiet".
+    #[must_use]
+    pub fn watchdog_fired_at_us(&self) -> Option<u64> {
+        let at = self.shared.watchdog_fired_at_us.load(Ordering::Relaxed); // ordering: write-once timestamp poll; staleness is acceptable
+        (at != 0).then_some(at)
     }
 
     /// Wires in the receiver's delivered-packet counter (from

@@ -24,6 +24,17 @@
 //! Everything runs on plain `std::net::UdpSocket` + threads — the same
 //! architecture as the paper's librt-based prototype; an async runtime
 //! would add machinery without adding fidelity for a handful of sockets.
+//!
+//! On top of the plain sender, the resilience layer (DESIGN.md §12)
+//! supervises a connection lifecycle:
+//!
+//! * [`session`] — the pure state machine (`Connecting → Established →
+//!   Degraded → Reconnecting → Draining → Closed`) with capped,
+//!   deterministically jittered reconnect backoff;
+//! * [`supervisor`] — drives the sender loop through that machine:
+//!   probes on the backoff schedule while disconnected, warm-restarts
+//!   the congestion controller on resumption, and sheds overload into
+//!   the `shed_dropped` ledger column.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,10 +43,17 @@ pub mod clock;
 pub mod emulator;
 pub mod receiver;
 pub mod sender;
+pub mod session;
 pub mod stats;
+pub mod supervisor;
 
 pub use clock::WallClock;
 pub use emulator::{Emulator, EmulatorConfig, EmulatorHandle};
 pub use receiver::{Receiver, ReceiverHandle};
 pub use sender::{SenderConfig, UdpSender};
+pub use session::{BackoffSchedule, Session, SessionConfig, Transition};
+// The state enum lives in `verus-trace` (session records embed it);
+// re-exported here because `Transition` is spelled in terms of it.
+pub use verus_trace::SessionState;
 pub use stats::TransferStats;
+pub use supervisor::{SessionReport, SupervisedSender, SupervisorConfig};

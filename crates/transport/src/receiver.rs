@@ -65,8 +65,7 @@ impl Receiver {
                         Err(_) => break,
                     }
                 }
-            })
-            .expect("spawn receiver thread");
+            })?;
         Ok(ReceiverHandle {
             stop,
             received,

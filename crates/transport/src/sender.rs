@@ -105,6 +105,7 @@ impl UdpSender {
             acked: 0,
             fast_losses: 0,
             timeouts: 0,
+            shed_dropped: 0,
             throughput: ThroughputSeries::new(1.0),
             delays_ms: Vec::new(),
             delay_stats: verus_stats::StreamingStats::for_delays_ms(),
@@ -141,7 +142,9 @@ impl UdpSender {
                 .map(|(&s, _)| s)
                 .collect();
             for seq in due {
-                let o = outstanding.remove(&seq).expect("due seq present");
+                let Some(o) = outstanding.remove(&seq) else {
+                    continue; // unreachable: `due` was computed from the map
+                };
                 stats.fast_losses += 1;
                 cc.on_loss(
                     now,
@@ -155,21 +158,22 @@ impl UdpSender {
 
             // 3. RTO (with exponential backoff across consecutive fires).
             if let Some(d) = rto_deadline {
-                if now >= d && !outstanding.is_empty() {
-                    let (&oldest, o) = outstanding.iter().next().expect("non-empty");
-                    let send_window = o.send_window;
-                    outstanding.clear();
-                    stats.timeouts += 1;
-                    rto_retries += 1;
-                    cc.on_loss(
-                        now,
-                        &LossEvent {
-                            seq: oldest,
-                            send_window,
-                            kind: LossKind::Timeout,
-                        },
-                    );
-                    rto_deadline = Some(now + rtt.backed_off_rto(rto_retries));
+                if now >= d {
+                    if let Some((&oldest, o)) = outstanding.iter().next() {
+                        let send_window = o.send_window;
+                        outstanding.clear();
+                        stats.timeouts += 1;
+                        rto_retries += 1;
+                        cc.on_loss(
+                            now,
+                            &LossEvent {
+                                seq: oldest,
+                                send_window,
+                                kind: LossKind::Timeout,
+                            },
+                        );
+                        rto_deadline = Some(now + rtt.backed_off_rto(rto_retries));
+                    }
                 }
             }
 

@@ -16,6 +16,13 @@ pub struct TransferStats {
     pub fast_losses: u64,
     /// Retransmission timeouts.
     pub timeouts: u64,
+    /// Packets the overload guard refused to put on the wire (sequence
+    /// numbers consumed, counted as sent, never transmitted — the
+    /// transport-side analogue of the simulator's `shed_dropped` ledger
+    /// column). Always 0 for the plain [`crate::UdpSender`]; only the
+    /// supervised sender sheds.
+    #[serde(default)]
+    pub shed_dropped: u64,
     /// Acknowledged throughput in 1-second windows (bytes credited at
     /// ACK-arrival time).
     pub throughput: ThroughputSeries,
@@ -76,6 +83,7 @@ mod tests {
             acked: 0,
             fast_losses: 0,
             timeouts: 0,
+            shed_dropped: 0,
             throughput: ThroughputSeries::new(1.0),
             delays_ms: vec![],
             delay_stats: StreamingStats::for_delays_ms(),
@@ -96,6 +104,7 @@ mod tests {
             acked: 9,
             fast_losses: 1,
             timeouts: 0,
+            shed_dropped: 0,
             throughput: tp,
             delays_ms: vec![10.0, 30.0],
             delay_stats: StreamingStats::from_samples(&[10.0, 30.0]),

@@ -1,0 +1,561 @@
+//! The supervised sender: [`crate::UdpSender`]'s control loop wrapped
+//! in a [`Session`] lifecycle.
+//!
+//! The plain sender trusts the congestion controller to survive
+//! anything; this one adds the session layer the paper's prototype
+//! leaves implicit:
+//!
+//! * **Liveness supervision** — per-state deadlines ([`SessionConfig`])
+//!   notice a silent peer, degrade the session, and eventually move to
+//!   explicit reconnect probing instead of hammering a dead link at the
+//!   controller's pace.
+//! * **Capped-backoff reconnects** — in `Connecting`/`Reconnecting` the
+//!   only traffic is one probe per [`BackoffSchedule`](crate::session::BackoffSchedule)
+//!   slot. Probes are ordinary data packets (the receiver ACKs all data
+//!   packets), so the first ACK back both proves liveness and feeds the
+//!   controller a fresh RTT sample.
+//! * **Session resumption** — on a reconnect the controller is *kept*,
+//!   not rebuilt: [`CongestionControl::on_session_resumed`] lets it
+//!   warm-restart from its learned link model (Verus re-enters
+//!   congestion avoidance from its delay profile instead of slow start).
+//! * **Overload shedding** — above a configurable outstanding cap, new
+//!   quota is shed: sequence numbers are consumed and counted
+//!   ([`TransferStats::shed_dropped`]) but nothing hits the wire, so a
+//!   controller confused by a disruption cannot flood the queue. The
+//!   same accounting column exists in the simulator's conservation
+//!   ledger, keeping both substrates' books comparable.
+//!
+//! Session transitions are emitted as `verus-trace` session records
+//! when a trace handle is attached, and returned in the
+//! [`SessionReport`] for SLO assertions (the chaos soak checks p99
+//! time-to-recovery against these).
+
+use crate::clock::WallClock;
+use crate::sender::SenderConfig;
+use crate::session::{Session, SessionConfig, Transition};
+use crate::stats::TransferStats;
+use std::collections::BTreeMap;
+use std::net::UdpSocket;
+use std::time::Duration;
+use verus_nettypes::{
+    AckEvent, AckPacket, CongestionControl, DataPacket, LossEvent, LossKind, RttEstimator,
+    SimDuration, SimTime,
+};
+use verus_stats::ThroughputSeries;
+use verus_trace::{SessionEventKind, SessionRecord, SessionState, TraceHandle};
+
+/// Supervised-sender configuration: the plain sender's knobs plus the
+/// session layer's.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Socket, pacing and duration configuration (as for
+    /// [`crate::UdpSender`]).
+    pub sender: SenderConfig,
+    /// Session liveness deadlines and backoff.
+    pub session: SessionConfig,
+    /// Overload guard: when this many packets are outstanding, further
+    /// quota is shed instead of sent. `None` disables shedding.
+    pub shed_outstanding_cap: Option<usize>,
+}
+
+impl SupervisorConfig {
+    /// Defaults: the given sender config, default session deadlines, no
+    /// shedding.
+    #[must_use]
+    pub fn new(sender: SenderConfig) -> Self {
+        Self {
+            sender,
+            session: SessionConfig::default(),
+            shed_outstanding_cap: None,
+        }
+    }
+}
+
+/// What a supervised run produced: transfer statistics plus the session
+/// history the recovery SLOs are computed from.
+#[derive(Debug)]
+pub struct SessionReport {
+    /// Packet-level statistics (as from the plain sender), including
+    /// the shed count.
+    pub stats: TransferStats,
+    /// Every session-state edge taken, in order.
+    pub transitions: Vec<Transition>,
+    /// State at loop exit (always `Closed` unless the run was cut short
+    /// by an I/O error).
+    pub final_state: SessionState,
+    /// Total reconnect/connect probes sent.
+    pub probes_sent: u64,
+}
+
+impl SessionReport {
+    /// Durations of every completed recovery (edges into `Established`
+    /// out of `Connecting`/`Reconnecting`) — the SLO numerators.
+    #[must_use]
+    pub fn recovery_times(&self) -> Vec<SimDuration> {
+        self.transitions
+            .iter()
+            .filter_map(|t| t.recovered_after)
+            .collect()
+    }
+
+    /// Whether the session ever reached `Established`.
+    #[must_use]
+    pub fn reached_established(&self) -> bool {
+        self.transitions
+            .iter()
+            .any(|t| t.to == SessionState::Established)
+    }
+
+    /// How many separate disruptions ended in a successful reconnect
+    /// (recoveries out of `Reconnecting`, i.e. excluding the initial
+    /// connect).
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.transitions
+            .iter()
+            .filter(|t| {
+                t.from == SessionState::Reconnecting && t.to == SessionState::Established
+            })
+            .count() as u64
+    }
+}
+
+/// The supervised sender: owns the socket, the session machine and the
+/// control loop.
+pub struct SupervisedSender {
+    config: SupervisorConfig,
+    clock: WallClock,
+    trace: TraceHandle,
+}
+
+struct Outstanding {
+    send_window: f64,
+    gap_deadline: Option<SimTime>,
+}
+
+impl SupervisedSender {
+    /// Creates a supervised sender sharing `clock` with the local
+    /// receiver/emulator.
+    #[must_use]
+    pub fn new(config: SupervisorConfig, clock: WallClock) -> Self {
+        Self {
+            config,
+            clock,
+            trace: TraceHandle::disabled(),
+        }
+    }
+
+    /// Installs a trace handle; session transitions will be emitted as
+    /// `verus-trace` session records.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// Runs `cc` under supervision until the configured duration
+    /// elapses and the session drains, returning the report.
+    ///
+    /// # Errors
+    /// Propagates socket setup/send failures.
+    #[allow(clippy::too_many_lines)]
+    pub fn run(&mut self, mut cc: Box<dyn CongestionControl>) -> std::io::Result<SessionReport> {
+        let socket = UdpSocket::bind(&self.config.sender.bind)?;
+        socket.connect(self.config.sender.dest)?;
+        socket.set_read_timeout(Some(Duration::from_micros(500)))?;
+
+        let start = self.clock.now();
+        let deadline = start + SimDuration::from_std(self.config.sender.duration);
+        let tick = cc.tick_interval();
+        let mut next_tick = tick.map(|t| start + t);
+
+        let mut session = Session::new(self.config.session, start);
+        let mut transitions: Vec<Transition> = Vec::new();
+        let mut last_change = start;
+
+        let mut outstanding: BTreeMap<u64, Outstanding> = BTreeMap::new();
+        let mut next_seq: u64 = 0;
+        let mut rtt = RttEstimator::default();
+        let mut rto_deadline: Option<SimTime> = None;
+        let mut rto_retries: u32 = 0;
+
+        let mut stats = TransferStats {
+            protocol: cc.name().to_string(),
+            sent: 0,
+            acked: 0,
+            fast_losses: 0,
+            timeouts: 0,
+            shed_dropped: 0,
+            throughput: ThroughputSeries::new(1.0),
+            delays_ms: Vec::new(),
+            delay_stats: verus_stats::StreamingStats::for_delays_ms(),
+            duration_secs: self.config.sender.duration.as_secs_f64(),
+        };
+
+        let mut buf = [0u8; 2048];
+        let mut draining = false;
+        while !session.is_closed() {
+            let now = self.clock.now();
+            if now >= deadline && !draining {
+                draining = true;
+                if let Some(tr) = session.begin_drain(now) {
+                    self.note(tr, &mut cc, &mut last_change, &mut transitions);
+                }
+            }
+
+            // 0. Session liveness deadlines (a stalled loop can owe more
+            //    than one edge; drain them all).
+            while let Some(tr) = session.poll(now) {
+                self.note(tr, &mut cc, &mut last_change, &mut transitions);
+            }
+            if session.is_closed() {
+                break;
+            }
+
+            // 1. Epoch ticks, with catch-up (see `UdpSender::run`).
+            if let (Some(t), Some(period)) = (next_tick, tick) {
+                let mut due = t;
+                while now >= due {
+                    cc.on_tick(now);
+                    due = due + period;
+                }
+                next_tick = Some(due);
+            }
+
+            // 2. Gap timers.
+            let due: Vec<u64> = outstanding
+                .iter()
+                .filter(|(_, o)| o.gap_deadline.is_some_and(|d| now >= d))
+                .map(|(&s, _)| s)
+                .collect();
+            for seq in due {
+                let Some(o) = outstanding.remove(&seq) else {
+                    continue;
+                };
+                stats.fast_losses += 1;
+                cc.on_loss(
+                    now,
+                    &LossEvent {
+                        seq,
+                        send_window: o.send_window,
+                        kind: LossKind::FastRetransmit,
+                    },
+                );
+            }
+
+            // 3. RTO.
+            if let Some(d) = rto_deadline {
+                if now >= d && !outstanding.is_empty() {
+                    let oldest = outstanding.iter().next().map(|(&s, o)| (s, o.send_window));
+                    if let Some((oldest, send_window)) = oldest {
+                        outstanding.clear();
+                        stats.timeouts += 1;
+                        rto_retries += 1;
+                        cc.on_loss(
+                            now,
+                            &LossEvent {
+                                seq: oldest,
+                                send_window,
+                                kind: LossKind::Timeout,
+                            },
+                        );
+                        rto_deadline = Some(now + rtt.backed_off_rto(rto_retries));
+                    }
+                }
+            }
+
+            // 4. Drain ACKs. Every valid ACK is proof of peer liveness
+            //    for the session machine, even if the packet it covers
+            //    was already declared lost.
+            for _ in 0..256 {
+                match socket.recv(&mut buf) {
+                    Ok(n) => {
+                        let Ok(ack) = AckPacket::decode(&buf[..n]) else {
+                            continue;
+                        };
+                        let now = self.clock.now();
+                        if let Some(tr) = session.on_ack(now) {
+                            self.note(tr, &mut cc, &mut last_change, &mut transitions);
+                        }
+                        let sample =
+                            now.saturating_since(SimTime::from_micros(ack.echo_send_time_us));
+                        rtt.on_sample(sample);
+                        let Some(o) = outstanding.remove(&ack.seq) else {
+                            continue; // stale: no CC events
+                        };
+                        let _ = o;
+                        let one_way = SimTime::from_micros(ack.recv_time_us)
+                            .saturating_since(SimTime::from_micros(ack.echo_send_time_us));
+                        rto_retries = 0;
+                        stats.acked += 1;
+                        let one_way_ms = one_way.as_millis_f64();
+                        stats.delay_stats.record(one_way_ms);
+                        stats.delays_ms.push(one_way_ms);
+                        stats.throughput.record(
+                            now.saturating_since(start).as_secs_f64(),
+                            u64::from(self.config.sender.packet_bytes),
+                        );
+                        cc.on_ack(
+                            now,
+                            &AckEvent {
+                                seq: ack.seq,
+                                bytes: u64::from(self.config.sender.packet_bytes),
+                                rtt: sample,
+                                delay: one_way,
+                                send_window: ack.send_window,
+                            },
+                        );
+                        rto_deadline = if outstanding.is_empty() {
+                            None
+                        } else {
+                            Some(now + rtt.rto())
+                        };
+                        let gap = rtt
+                            .srtt_or(SimDuration::from_millis(200))
+                            .mul_f64(self.config.sender.gap_factor);
+                        for (_, o) in outstanding.range_mut(..ack.seq) {
+                            if o.gap_deadline.is_none() {
+                                o.gap_deadline = Some(now + gap);
+                            }
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // 5. Probe / pump, gated by session state.
+            let now = self.clock.now();
+            if session.may_send() && !draining {
+                loop {
+                    let quota = cc.quota(now, outstanding.len());
+                    if quota == 0 {
+                        break;
+                    }
+                    // Overload guard: above the cap, shed this quota
+                    // batch — consume sequence numbers and credit but
+                    // keep the packets off the wire. One batch only:
+                    // window-based controllers would re-grant the same
+                    // quota forever (in_flight never grows from sheds).
+                    if self
+                        .config
+                        .shed_outstanding_cap
+                        .is_some_and(|cap| outstanding.len() >= cap)
+                    {
+                        for _ in 0..quota {
+                            let seq = next_seq;
+                            next_seq += 1;
+                            stats.sent += 1;
+                            stats.shed_dropped += 1;
+                            cc.on_packet_sent(
+                                now,
+                                seq,
+                                u64::from(self.config.sender.packet_bytes),
+                            );
+                        }
+                        break;
+                    }
+                    for _ in 0..quota {
+                        let seq = next_seq;
+                        next_seq += 1;
+                        let pkt = DataPacket {
+                            flow: self.config.sender.flow,
+                            seq,
+                            send_time_us: self.clock.now_micros(),
+                            send_window: cc.window().max(1.0),
+                            payload_len: self.config.sender.packet_bytes,
+                        };
+                        outstanding.insert(
+                            seq,
+                            Outstanding {
+                                send_window: pkt.send_window,
+                                gap_deadline: None,
+                            },
+                        );
+                        stats.sent += 1;
+                        cc.on_packet_sent(now, seq, u64::from(self.config.sender.packet_bytes));
+                        if rto_deadline.is_none() {
+                            rto_deadline = Some(now + rtt.rto());
+                        }
+                        socket.send(&pkt.encode())?;
+                    }
+                }
+            } else if !session.is_closed() && session.probe_due(now) {
+                // One reconnect probe per backoff slot: an ordinary data
+                // packet, so the receiver's ACK re-establishes the
+                // session and feeds the controller a fresh RTT sample.
+                let seq = next_seq;
+                next_seq += 1;
+                let pkt = DataPacket {
+                    flow: self.config.sender.flow,
+                    seq,
+                    send_time_us: self.clock.now_micros(),
+                    send_window: cc.window().max(1.0),
+                    payload_len: self.config.sender.packet_bytes,
+                };
+                outstanding.insert(
+                    seq,
+                    Outstanding {
+                        send_window: pkt.send_window,
+                        gap_deadline: None,
+                    },
+                );
+                stats.sent += 1;
+                cc.on_packet_sent(now, seq, u64::from(self.config.sender.packet_bytes));
+                if rto_deadline.is_none() {
+                    rto_deadline = Some(now + rtt.rto());
+                }
+                socket.send(&pkt.encode())?;
+            }
+
+            // 6. Drain completion: everything out is accounted for.
+            if draining && outstanding.is_empty() {
+                if let Some(tr) = session.drained(self.clock.now()) {
+                    self.note(tr, &mut cc, &mut last_change, &mut transitions);
+                }
+            }
+            // The read timeout above provides the pacing sleep.
+        }
+
+        self.trace.flush();
+        Ok(SessionReport {
+            stats,
+            final_state: session.state(),
+            probes_sent: session.total_retries(),
+            transitions,
+        })
+    }
+
+    /// Records one session transition: resumption hook, trace records,
+    /// report history.
+    fn note(
+        &mut self,
+        tr: Transition,
+        cc: &mut Box<dyn CongestionControl>,
+        last_change: &mut SimTime,
+        transitions: &mut Vec<Transition>,
+    ) {
+        // A reconnect (not the initial connect) resumes the controller:
+        // keep its learned link model, clear disruption-era transients.
+        if tr.from == SessionState::Reconnecting && tr.to == SessionState::Established {
+            cc.on_session_resumed(tr.at);
+        }
+        if self.trace.is_enabled() {
+            self.trace.session(&SessionRecord {
+                t_ns: tr.at.as_nanos(),
+                kind: SessionEventKind::StateChange,
+                state: tr.to,
+                retries: tr.retries,
+                elapsed_ns: tr.at.saturating_since(*last_change).as_nanos(),
+            });
+            if let Some(rec) = tr.recovered_after {
+                self.trace.session(&SessionRecord {
+                    t_ns: tr.at.as_nanos(),
+                    kind: SessionEventKind::RecoveryComplete,
+                    state: tr.to,
+                    retries: tr.retries,
+                    elapsed_ns: rec.as_nanos(),
+                });
+            }
+        }
+        *last_change = tr.at;
+        transitions.push(tr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::Receiver;
+    use verus_nettypes::FixedWindow;
+
+    fn quick_session() -> SessionConfig {
+        SessionConfig {
+            idle_degraded: SimDuration::from_millis(150),
+            degraded_grace: SimDuration::from_millis(100),
+            drain_timeout: SimDuration::from_millis(500),
+            backoff_base: SimDuration::from_millis(20),
+            backoff_cap: SimDuration::from_millis(200),
+            seed: 11,
+            session_id: 1,
+        }
+    }
+
+    #[test]
+    fn supervised_run_establishes_transfers_and_drains() {
+        let clock = WallClock::new();
+        let rx = Receiver::spawn("127.0.0.1:0", clock).unwrap();
+        let mut config = SupervisorConfig::new(SenderConfig::new(
+            rx.local_addr(),
+            Duration::from_millis(400),
+        ));
+        config.session = quick_session();
+        let mut sender = SupervisedSender::new(config, clock);
+        let report = sender.run(Box::new(FixedWindow::new(4))).unwrap();
+        rx.stop();
+
+        assert_eq!(report.final_state, SessionState::Closed);
+        assert!(report.reached_established(), "never connected");
+        assert!(report.stats.acked > 0, "no data acknowledged");
+        assert_eq!(report.stats.shed_dropped, 0, "no cap configured");
+        let recoveries = report.recovery_times();
+        assert_eq!(recoveries.len(), 1, "exactly the initial connect");
+        // First transition must be Connecting -> Established.
+        assert_eq!(report.transitions[0].from, SessionState::Connecting);
+        assert_eq!(report.transitions[0].to, SessionState::Established);
+    }
+
+    #[test]
+    fn dead_peer_degrades_and_probes_at_backoff() {
+        let clock = WallClock::new();
+        // Bind a socket that never answers: the session must degrade,
+        // reconnect-probe, and still close by the drain deadline.
+        let dead = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let mut config = SupervisorConfig::new(SenderConfig::new(
+            dead.local_addr().unwrap(),
+            Duration::from_millis(600),
+        ));
+        config.session = quick_session();
+        let mut sender = SupervisedSender::new(config, clock);
+        let report = sender.run(Box::new(FixedWindow::new(2))).unwrap();
+
+        assert_eq!(report.final_state, SessionState::Closed, "flow got stuck");
+        assert!(!report.reached_established());
+        assert!(
+            report.probes_sent >= 2,
+            "only {} probes against a dead peer",
+            report.probes_sent
+        );
+        // Against a dead peer nothing is ever acked.
+        assert_eq!(report.stats.acked, 0);
+    }
+
+    #[test]
+    fn shed_cap_counts_refused_quota() {
+        let clock = WallClock::new();
+        let rx = Receiver::spawn("127.0.0.1:0", clock).unwrap();
+        let mut config = SupervisorConfig::new(SenderConfig::new(
+            rx.local_addr(),
+            Duration::from_millis(300),
+        ));
+        config.session = quick_session();
+        // Cap 0: the guard refuses every data-path quota grant, so the
+        // only wire traffic is session probes — fully deterministic, no
+        // race against how fast loopback ACKs drain `outstanding`.
+        config.shed_outstanding_cap = Some(0);
+        let mut sender = SupervisedSender::new(config, clock);
+        let report = sender.run(Box::new(FixedWindow::new(8))).unwrap();
+        rx.stop();
+        assert!(report.reached_established(), "probe never connected");
+        assert!(
+            report.stats.shed_dropped > 0,
+            "cap 0 under window 8 never shed"
+        );
+        // Sequence-number conservation: everything sent is either real
+        // or shed, and acked packets were real.
+        assert!(report.stats.acked <= report.stats.sent - report.stats.shed_dropped);
+    }
+}

@@ -173,6 +173,85 @@ fn double_stop_is_idempotent_and_race_free() {
 }
 
 #[test]
+fn reconnect_claim_is_exactly_once_under_racing_probers() {
+    // Session-layer reconnect shape (session.rs / supervisor.rs): the
+    // supervisor itself is single-threaded, but the *protocol* it
+    // embodies — at most one live reconnect attempt per disruption, and
+    // none once the session is closed — is an atomic-claim handshake.
+    // Model it directly: two probers race to claim the reconnect slot
+    // with an atomic swap; a stopper closes the session concurrently.
+    // In every interleaving the claim is taken at most once, a winner
+    // always completes (no deadlock), and after close + join no further
+    // claim is possible.
+    let stats = model(|| {
+        let claim = Arc::new(AtomicBool::new(false));
+        let closed = Arc::new(AtomicBool::new(false));
+        let reconnects = Arc::new(AtomicU64::new(0));
+        let prober = |claim: &Arc<AtomicBool>,
+                      closed: &Arc<AtomicBool>,
+                      reconnects: &Arc<AtomicU64>| {
+            let (claim, closed, reconnects) =
+                (Arc::clone(claim), Arc::clone(closed), Arc::clone(reconnects));
+            thread::spawn(move || {
+                if closed.load(Ordering::Relaxed) {
+                    return; // Closed is terminal: never start a reconnect
+                }
+                // swap(true) returns the previous value: exactly one
+                // prober sees `false` and owns the attempt.
+                if !claim.swap(true, Ordering::Relaxed) {
+                    reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        let a = prober(&claim, &closed, &reconnects);
+        let b = prober(&claim, &closed, &reconnects);
+        // The stopper races from the main thread, as `begin_drain` /
+        // `abort` do from the driver: closing concurrently with the
+        // probers' claim attempts.
+        closed.store(true, Ordering::Relaxed);
+        a.join();
+        b.join();
+        let n = reconnects.load(Ordering::Relaxed);
+        assert!(n <= 1, "reconnect ran {n} times; the claim must be exclusive");
+        // Post-join the state is at rest: the slot reads claimed iff
+        // the reconnect actually ran (the flag only moves via the swap,
+        // and every swap winner completes — no half-taken claims).
+        assert!(closed.load(Ordering::Relaxed));
+        assert_eq!(claim.load(Ordering::Relaxed), n == 1, "half-taken claim");
+    });
+    assert!(!stats.truncated, "reconnect handshake must be explored exhaustively");
+}
+
+#[test]
+fn check_then_set_reconnect_claim_can_double_run() {
+    // The counter-example that justifies the swap above: a naive
+    // load-then-store claim lets both probers observe `false` before
+    // either stores `true`, and the reconnect runs twice — duplicate
+    // probe state, double `on_session_resumed`. The model finds the
+    // interleaving.
+    let found = exists_failing(|| {
+        let claim = Arc::new(AtomicBool::new(false));
+        let reconnects = Arc::new(AtomicU64::new(0));
+        let prober = |claim: &Arc<AtomicBool>, reconnects: &Arc<AtomicU64>| {
+            let (claim, reconnects) = (Arc::clone(claim), Arc::clone(reconnects));
+            thread::spawn(move || {
+                if !claim.load(Ordering::Relaxed) {
+                    claim.store(true, Ordering::Relaxed);
+                    reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        let a = prober(&claim, &reconnects);
+        let b = prober(&claim, &reconnects);
+        a.join();
+        b.join();
+        let n = reconnects.load(Ordering::Relaxed);
+        assert!(n <= 1, "check-then-set double-ran the reconnect: {n}");
+    });
+    assert!(found, "the naive claim must have a double-run schedule");
+}
+
+#[test]
 fn receiver_shutdown_handshake_terminates_with_consistent_totals() {
     // `ReceiverHandle::stop` / the receiver loop in receiver.rs: the
     // loop polls `stop` once per datagram and bumps `received` and

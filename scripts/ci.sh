@@ -84,6 +84,34 @@ jq -e --slurpfile committed BENCH_2.json '
        jq '.sweep[] | select(.flows == 100)' "$scale_out" BENCH_2.json; exit 1; }
 rm -f "$scale_out"
 
+# Chaos smoke: the seeded chaos soak on both substrates with the
+# recovery SLOs armed (the binary itself asserts them and exits
+# non-zero on a miss). Written to scratch; jq then re-checks the SLO
+# verdicts from the record, and the committed CHAOS_0.json (a reviewed
+# artifact from the full 30 s soak, byte-stable across same-seed runs)
+# is validated structurally the same way.
+chaos_out="$(mktemp /tmp/bench_chaos.XXXXXX.json)"
+VERUS_BENCH_OUT="$chaos_out" cargo run --release -q -p verus-bench --bin bench_chaos -- --smoke
+chaos_jq='
+  .schema == "verus-chaos-soak-v1"
+  and (.slo_budget_ms == 2 * .backoff_cap_ms)
+  and (.slo_budget_ms as $slo |
+       [.sim.recoveries_ms[] | select(. > $slo)] == [])
+  and (.sim.blackouts > 0) and .sim.slo_met and .sim.ledger_balanced
+  and (.sim.delivered > 0)
+  and (.transport.blackouts > 0)
+  and .transport.reached_established
+  and .transport.recovered_after_every_blackout
+  and .transport.recovery_p99_within_slo
+  and .transport.final_state_closed
+  and .transport.ledger_consistent
+'
+jq -e "$chaos_jq and .smoke" "$chaos_out" > /dev/null \
+  || { echo "chaos smoke emitted a malformed record or missed an SLO:"; cat "$chaos_out"; exit 1; }
+jq -e "$chaos_jq and (.smoke | not)" CHAOS_0.json > /dev/null \
+  || { echo "committed CHAOS_0.json malformed or below the recovery SLOs"; exit 1; }
+rm -f "$chaos_out"
+
 # Trace smoke: capture a short traced simulation, validate the JSONL
 # schema line by line, replay it through trace_report, and fail if the
 # recorder dropped anything (a nonzero drop counter means the bounded

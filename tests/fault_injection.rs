@@ -219,5 +219,14 @@ fn transport_watchdog_shuts_down_a_silent_emulator() {
         "watchdog failed to stop the idle emulator thread"
     );
     assert!(emulator.watchdog_fired());
+    // The watchdog records *when* it fired (µs on the shared clock):
+    // at least the 300 ms idle window, and not after this test's own
+    // polling deadline.
+    let at_us = emulator.watchdog_fired_at_us().expect("fired implies a timestamp");
+    assert!(at_us >= 300_000, "fired after only {at_us} µs of idleness");
+    assert!(
+        at_us <= clock.now_micros(),
+        "fire timestamp {at_us} µs is in the future"
+    );
     emulator.stop();
 }
