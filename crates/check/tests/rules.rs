@@ -467,6 +467,27 @@ fn threads_allowed_in_transport_model_and_parallel_runner() {
 }
 
 #[test]
+fn threads_allowed_in_netsim_shard_runner_only() {
+    // The sharded-simulator runner is a per-file exemption: `thread::scope`
+    // there is audited (barrier protocol modeled in verus-model, output
+    // byte-compared against the sequential engine), but the exemption must
+    // not leak to the rest of the netsim crate.
+    let scope = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+    assert!(scan("crates/netsim/src/shard.rs", scope).is_empty());
+    assert_eq!(
+        rules(&scan("crates/netsim/src/sim.rs", scope)),
+        ["no-thread-outside-transport"]
+    );
+    // A lookalike path outside the workspace-relative exemption entry
+    // still fires: the match is on the exact relative path, not the
+    // file name.
+    assert_eq!(
+        rules(&scan("crates/core/src/shard.rs", scope)),
+        ["no-thread-outside-transport"]
+    );
+}
+
+#[test]
 fn threads_in_tests_are_out_of_scope() {
     // Test targets may spin helper threads (e.g. the loom-style model
     // harnesses drive verus-model, whose API shape includes

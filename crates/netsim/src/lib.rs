@@ -24,7 +24,12 @@
 //!
 //! Determinism: given the same configuration and seed, a simulation
 //! produces bit-identical reports. The event queue breaks timestamp ties
-//! by insertion order.
+//! by a canonical key (observer callback, then flow events in
+//! `(flow, per-flow counter)` order, then channel events) rather than a
+//! global insertion counter — which is also what lets the sharded
+//! multi-core engine ([`sim::SchedulerKind::Sharded`], [`shard`])
+//! reproduce the sequential dispatch order, and therefore every report
+//! and trace byte, from flows partitioned across worker threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +42,7 @@ pub mod invariants;
 pub mod metrics;
 pub mod outstanding;
 pub mod queue;
+pub mod shard;
 pub mod sim;
 pub mod wheel;
 

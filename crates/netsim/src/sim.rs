@@ -2,8 +2,16 @@
 //!
 //! One [`Simulation`] holds the flows, the bottleneck (fixed or
 //! trace-driven) and its queue, and a time-ordered event scheduler.
-//! Events are processed strictly in `(time, insertion order)` order, so
-//! runs are deterministic per seed.
+//! Events are processed strictly in `(time, tie)` order, where the tie
+//! is a *canonical* key rather than a global insertion counter: at equal
+//! timestamps an `Observe` callback dispatches first, then flow events
+//! in `(flow, per-flow schedule counter)` order, then channel events
+//! (bottleneck service, link state) in the order they were scheduled.
+//! Runs are deterministic per seed, and — because a flow's position in
+//! the dispatch order no longer depends on how *other* flows' events
+//! happened to interleave in a shared counter — the order is exactly
+//! reproducible by the sharded engine, which partitions flows across
+//! workers and merges their channel demands at a barrier.
 //!
 //! Two schedulers implement that order (see [`SchedulerKind`]): the
 //! default hierarchical timing wheel ([`crate::wheel`], O(1) per event)
@@ -49,7 +57,7 @@ use verus_nettypes::{
 use verus_stats::{Reservoir, StreamingStats, ThroughputSeries};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EventKind {
+pub(crate) enum EventKind {
     /// Flow begins sending.
     FlowStart(usize),
     /// Controller clock tick (Verus ε epochs, Sprout 20 ms ticks).
@@ -92,10 +100,10 @@ enum EventKind {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Event {
-    time: SimTime,
-    tie: u64,
-    kind: EventKind,
+pub(crate) struct Event {
+    pub(crate) time: SimTime,
+    pub(crate) tie: u64,
+    pub(crate) kind: EventKind,
 }
 
 impl Ord for Event {
@@ -130,6 +138,26 @@ pub enum SchedulerKind {
     /// timer coalescing), and `BTreeMap` outstanding tables. Behaviour
     /// matches the other schedulers; only the constants differ.
     NaiveHeap,
+    /// Deterministic multi-core sharding (see [`crate::shard`]): flows
+    /// are partitioned round-robin across `workers` threads, each
+    /// running its own timing wheel over its flows' events, while the
+    /// main thread owns the bottleneck (queue, RED, the channel RNG,
+    /// impairments) and merges the workers' per-round send demands in
+    /// canonical `(time, flow)` order at a lock-step barrier per cell
+    /// TTI. Reports and traces are byte-identical to [`Wheel`] for any
+    /// worker count.
+    ///
+    /// Falls back to the sequential wheel (still byte-identical, just
+    /// single-threaded) when the run shape does not shard: a fixed
+    /// bottleneck, `workers <= 1`, an observer interval shorter than
+    /// the run, no flows, or a base RTT under 2 ns (the barrier needs
+    /// strictly positive per-direction path delay).
+    ///
+    /// [`Wheel`]: SchedulerKind::Wheel
+    Sharded {
+        /// Worker thread count; `0` and `1` mean "run sequentially".
+        workers: usize,
+    },
 }
 
 impl SchedulerKind {
@@ -144,6 +172,25 @@ impl SchedulerKind {
     }
 }
 
+/// Tie-space classes (see the module doc). The tie is a 64-bit key:
+///
+/// * `Observe` uses tie `0` — first at its timestamp;
+/// * flow events use `FLOW_CLASS | flow << 32 | ctr`, where `ctr` is the
+///   flow's own monotone schedule counter, so same-timestamp flow events
+///   dispatch in `(flow, schedule order)` — a canonical order that does
+///   not depend on cross-flow interleaving;
+/// * channel events use `CHAN_CLASS | ctr` (a channel-local counter) and
+///   sort after every flow event at the same timestamp.
+///
+/// Tie values are *not* globally monotone (two flows' counters advance
+/// independently); both schedulers order by the full `(time, tie)` key,
+/// not by insertion.
+const FLOW_CLASS: u64 = 1 << 62;
+const CHAN_CLASS: u64 = 1 << 63;
+const OBSERVE_TIE: u64 = 0;
+/// Flow ids must fit the 30 bits between `FLOW_CLASS` and the counter.
+const MAX_FLOWS: usize = 1 << 30;
+
 /// The pluggable event queue: both variants pop in `(time, tie)` order.
 enum Sched {
     Wheel(TimingWheel<EventKind>),
@@ -153,7 +200,9 @@ enum Sched {
 impl Sched {
     fn new(kind: SchedulerKind) -> Self {
         match kind {
-            SchedulerKind::Wheel => Sched::Wheel(TimingWheel::new()),
+            SchedulerKind::Wheel | SchedulerKind::Sharded { .. } => {
+                Sched::Wheel(TimingWheel::new())
+            }
             SchedulerKind::LegacyHeap | SchedulerKind::NaiveHeap => {
                 Sched::Heap(BinaryHeap::new())
             }
@@ -173,14 +222,76 @@ impl Sched {
             Sched::Heap(h) => h.pop().map(|Reverse(e)| (e.time, e.tie, e.kind)),
         }
     }
+
+    /// Pops the earliest event only if its time is `≤ bound` (the
+    /// sharded engine's per-round drain; see
+    /// [`TimingWheel::pop_next_before`]).
+    fn pop_next_before(&mut self, bound: SimTime) -> Option<(SimTime, u64, EventKind)> {
+        match self {
+            Sched::Wheel(w) => w.pop_next_before(bound),
+            Sched::Heap(h) => {
+                if h.peek().map_or(true, |Reverse(e)| e.time > bound) {
+                    return None;
+                }
+                h.pop().map(|Reverse(e)| (e.time, e.tie, e.kind))
+            }
+        }
+    }
 }
 
 /// One packet inside a delivery batch.
 #[derive(Debug, Clone, Copy)]
-struct BatchPkt {
-    seq: u64,
-    bytes: u32,
-    sent_at: SimTime,
+pub(crate) struct BatchPkt {
+    pub(crate) seq: u64,
+    pub(crate) bytes: u32,
+    pub(crate) sent_at: SimTime,
+}
+
+/// One packet a sharded worker wants to launch into the channel: the
+/// flow half of `send_packet` already ran on the worker; the merger
+/// replays the channel half (loss draw, impairments, queue admission)
+/// for all workers' launches in global `(time, flow)` order, which is
+/// exactly the order the sequential engine interleaves them in.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Launch {
+    pub(crate) time: SimTime,
+    /// Global flow id.
+    pub(crate) flow: usize,
+    pub(crate) seq: u64,
+    pub(crate) bytes: u32,
+}
+
+/// Whether this `Simulation` is the whole world or one shard of it.
+enum Mode {
+    /// The sequential engine: owns flows *and* the bottleneck.
+    Full,
+    /// A sharded worker: owns the flows with `global % stride == w`
+    /// (local index `l` ⇔ global `l * stride + w`), appends its send
+    /// demands to `launches` instead of touching the channel, and never
+    /// draws from the RNG or the queue — those live with the merger.
+    Worker {
+        launches: Vec<Launch>,
+        w: usize,
+        stride: usize,
+    },
+}
+
+/// The merger's per-flow slice of the packet-conservation ledger: every
+/// counter the *channel half* of the pipeline owns. Workers keep the
+/// flow-half counters (`sent`, `delivered`, `shed_dropped`, …) in their
+/// `FlowState`s; at quiesce the two halves fold into one report.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ChanLedger {
+    pub(crate) radio_lost: u64,
+    pub(crate) impaired_lost: u64,
+    pub(crate) dup_injected: u64,
+    pub(crate) queue_drops: u64,
+    pub(crate) corrupt_dropped: u64,
+    pub(crate) in_queue: u64,
+    /// Packets that left the queue onto the wire (the sequential
+    /// engine's `in_transit` increments); minus the worker's delivered
+    /// count this is the residual in-transit figure.
+    pub(crate) departed: u64,
 }
 
 /// A TTI's worth of same-flow, same-arrival-time packets, carried first
@@ -281,13 +392,16 @@ impl Outstanding {
     }
 }
 
-struct FlowState {
+pub(crate) struct FlowState {
     cc: Box<dyn CongestionControl>,
     start: SimTime,
     extra_fwd_delay: SimDuration,
     extra_ack_delay: SimDuration,
     packet_bytes: u32,
     loss_detection: LossDetection,
+    /// Monotone per-flow schedule counter — the low half of this flow's
+    /// event ties (see [`FLOW_CLASS`]).
+    ctr: u32,
     /// Finite-transfer limit (bytes) and completion bookkeeping.
     transfer_bytes: Option<u64>,
     delivered_bytes: u64,
@@ -355,16 +469,267 @@ enum Service {
         current: FixedParams,
         busy: bool,
     },
-    Cell {
-        opportunities: Vec<Opportunity>,
-        next_index: usize,
-        base_duration: SimDuration,
-        loop_offset: SimDuration,
-        /// Accumulated byte credit while the queue is backlogged.
-        credit: u64,
-        base_rtt: SimDuration,
-        loss: f64,
-    },
+    Cell(CellService),
+}
+
+/// The trace-driven cell bottleneck: a looping schedule of delivery
+/// opportunities and the byte credit they accumulate against a backlog.
+/// A struct (not enum payload) so the sharded merger can own it whole
+/// and drain with the very same code path as the sequential engine.
+pub(crate) struct CellService {
+    opportunities: Vec<Opportunity>,
+    next_index: usize,
+    base_duration: SimDuration,
+    loop_offset: SimDuration,
+    /// Accumulated byte credit while the queue is backlogged.
+    credit: u64,
+    pub(crate) base_rtt: SimDuration,
+    pub(crate) loss: f64,
+}
+
+impl CellService {
+    fn from_trace(trace: verus_cellular::Trace, base_rtt: SimDuration, loss: f64) -> Self {
+        Self {
+            base_duration: trace.duration().max(SimDuration::from_nanos(1)),
+            opportunities: trace.opportunities().to_vec(),
+            next_index: 0,
+            loop_offset: SimDuration::ZERO,
+            credit: 0,
+            base_rtt,
+            loss,
+        }
+    }
+
+    /// A worker's stand-in service: carries the path parameters (the
+    /// worker computes ACK delays from `base_rtt`) but holds no
+    /// opportunities — workers never drain; the merger does.
+    fn stub(base_rtt: SimDuration, loss: f64) -> Self {
+        Self {
+            opportunities: Vec::new(),
+            next_index: 0,
+            base_duration: SimDuration::from_nanos(1),
+            loop_offset: SimDuration::ZERO,
+            credit: 0,
+            base_rtt,
+            loss,
+        }
+    }
+
+    /// Processes one delivery opportunity: accumulates credit against a
+    /// backlog, dequeues every packet the credit covers into
+    /// `deliveries`, and returns the next opportunity's (loop-adjusted)
+    /// time. During a blackout the opportunity is wasted — no drain, no
+    /// banked credit; the radio is gone, not merely idle.
+    pub(crate) fn drain(
+        &mut self,
+        now: SimTime,
+        blackout: bool,
+        queue: &mut Queue,
+        deliveries: &mut Vec<QueuedPacket>,
+    ) -> SimTime {
+        let opp = self.opportunities[self.next_index];
+        // Credit accumulates only against a backlog; capacity cannot
+        // be banked while there is nothing to send (mahimahi
+        // semantics).
+        if blackout || queue.is_empty() {
+            self.credit = 0;
+        } else {
+            self.credit += u64::from(opp.bytes);
+            while let Some(head) = queue.peek_bytes() {
+                if u64::from(head) > self.credit {
+                    break;
+                }
+                let Some(pkt) = queue.dequeue() else { break };
+                self.credit -= u64::from(head);
+                deliveries.push(pkt);
+            }
+            if queue.is_empty() {
+                self.credit = 0;
+            }
+        }
+        // The next opportunity (looping the trace).
+        self.next_index += 1;
+        if self.next_index >= self.opportunities.len() {
+            self.next_index = 0;
+            self.loop_offset += self.base_duration;
+        }
+        let next_time = self.opportunities[self.next_index].time + self.loop_offset;
+        next_time.max(now)
+    }
+}
+
+/// The counters one packet's traversal of the channel pipeline (loss
+/// draw → impairments → queue admission) can bump: borrowed either from
+/// the owning `FlowState` (sequential engine) or from the merger's
+/// [`ChanLedger`] (sharded engine), so both run the identical code.
+pub(crate) struct ChanCounters<'a> {
+    pub(crate) radio_lost: &'a mut u64,
+    pub(crate) impaired_lost: &'a mut u64,
+    pub(crate) dup_injected: &'a mut u64,
+    pub(crate) queue_drops: &'a mut u64,
+    pub(crate) in_queue: &'a mut u64,
+}
+
+/// The channel half of a packet launch: the stochastic (radio) loss
+/// draw, the ingress impairment stage, and one queue-admission attempt
+/// per surviving copy. Returns how many copies were queued. The RNG
+/// draw order (loss uniform, then one uniform per copy) is part of the
+/// byte-identity contract between the sequential and sharded engines.
+pub(crate) fn launch_into_channel(
+    rng: &mut StdRng,
+    impairments: &mut Impairments,
+    queue: &mut Queue,
+    loss: f64,
+    now: SimTime,
+    flow: usize,
+    seq: u64,
+    bytes: u32,
+    c: ChanCounters<'_>,
+) -> u64 {
+    // Stochastic (radio) loss happens before the queue: the packet
+    // simply never arrives; the sender finds out via its detectors.
+    if loss > 0.0 && rng.gen::<f64>() < loss {
+        *c.radio_lost += 1;
+        return 0;
+    }
+    // Impairment stage (blackouts, burst loss, duplication); draws
+    // from its own RNG stream, so a no-op pipeline leaves the base
+    // channel's random sequence untouched.
+    let copies = match impairments.on_ingress(now) {
+        IngressFate::Lost => {
+            *c.impaired_lost += 1;
+            return 0;
+        }
+        IngressFate::Pass { duplicate: false } => 1,
+        IngressFate::Pass { duplicate: true } => {
+            *c.dup_injected += 1;
+            2
+        }
+    };
+    let mut queued = 0;
+    for _ in 0..copies {
+        let uniform = rng.gen::<f64>();
+        let accepted = queue.enqueue(
+            QueuedPacket {
+                flow,
+                seq,
+                bytes,
+                enqueued: now,
+            },
+            uniform,
+        );
+        if accepted == EnqueueResult::Queued {
+            *c.in_queue += 1;
+            queued += 1;
+        } else {
+            *c.queue_drops += 1;
+        }
+    }
+    queued
+}
+
+/// Builds one flow's report at quiesce. The thread's trace lane is set
+/// to the flow's global id for the duration: consuming the `FlowState`
+/// drops its controller, and a controller holding a `TraceHandle`
+/// flushes its buffered tail records on drop — those must land on the
+/// flow's lane in both engines for the exported JSONL to match.
+pub(crate) fn build_report(global: usize, f: FlowState, end_secs: f64) -> FlowReport {
+    verus_trace::lane::set(u32::try_from(global).unwrap_or(u32::MAX - 1));
+    let report = FlowReport {
+        protocol: f.cc.name().to_string(),
+        flow: global,
+        throughput: f.throughput,
+        delays_ms: f.delays.into_samples(),
+        delay_stats: f.delay_stats,
+        sent: f.sent,
+        delivered: f.delivered,
+        fast_losses: f.fast_losses,
+        timeouts: f.timeouts,
+        radio_lost: f.radio_lost,
+        queue_drops: f.queue_drops,
+        impaired_lost: f.impaired_lost,
+        corrupt_dropped: f.corrupt_dropped,
+        shed_dropped: f.shed_dropped,
+        dup_injected: f.dup_injected,
+        residual_in_queue: f.in_queue,
+        residual_in_transit: f.in_transit,
+        active_secs: (end_secs - f.start.as_secs_f64()).max(0.0),
+        completion_secs: f
+            .completed_at
+            .map(|t| t.saturating_since(f.start).as_secs_f64()),
+    };
+    // Drop the controller (and its trace tail) while the lane is still
+    // set; the remaining fields are plain data.
+    drop(f.cc);
+    verus_trace::lane::clear();
+    report
+}
+
+/// Folds the merger's channel-half ledger into a worker flow's own
+/// (flow-half) counters and builds the report. The fold is also where
+/// packet conservation is re-checked for sharded runs: a worker's
+/// per-event check sees only half the ledger, so it is skipped there
+/// and enforced here on the whole.
+pub(crate) fn finish_worker_flow(
+    global: usize,
+    mut f: FlowState,
+    led: &ChanLedger,
+    end_secs: f64,
+) -> FlowReport {
+    f.radio_lost = led.radio_lost;
+    f.impaired_lost = led.impaired_lost;
+    f.dup_injected = led.dup_injected;
+    f.queue_drops = led.queue_drops;
+    f.corrupt_dropped = led.corrupt_dropped;
+    f.in_queue = led.in_queue;
+    f.in_transit = led.departed.saturating_sub(f.delivered);
+    #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+    crate::invariants::packet_conservation(global, &f.ledger());
+    build_report(global, f, end_secs)
+}
+
+/// The merger's share of a [`Simulation::split_for_shards`]: everything
+/// the channel half of the pipeline owns — the bottleneck queue and
+/// service, the base RNG, the impairment pipeline, and the pending
+/// channel-class events with their tie counter.
+pub(crate) struct MergeParts {
+    pub(crate) end: SimTime,
+    pub(crate) queue: Queue,
+    pub(crate) cell: CellService,
+    pub(crate) rng: StdRng,
+    pub(crate) impairments: Impairments,
+    pub(crate) chan_events: BinaryHeap<Reverse<Event>>,
+    pub(crate) chan_ctr: u64,
+    /// Per *global* flow: `extra_fwd_delay` (the merger computes
+    /// delivery times; workers compute ACK times from their own copy).
+    pub(crate) fwd_extra: Vec<SimDuration>,
+}
+
+impl MergeParts {
+    /// Schedules a channel-class event, continuing the tie sequence the
+    /// pre-split `Simulation` started (see [`CHAN_CLASS`]).
+    pub(crate) fn schedule_chan(&mut self, time: SimTime, kind: EventKind) {
+        self.chan_ctr += 1;
+        self.chan_events.push(Reverse(Event {
+            time,
+            tie: CHAN_CLASS | self.chan_ctr,
+            kind,
+        }));
+    }
+}
+
+/// Rounds an RTO deadline up to the next timing-wheel granule boundary
+/// (2²⁰ ns ≈ 1.05 ms). The deadline restarts on every ACK, so an exact
+/// deadline almost never fires where it was armed, yet every distinct
+/// value the tracked check re-arms at costs a scheduler insert.
+/// Quantized, all re-arm targets inside one granule collapse to a single
+/// deadline — one insert per (flow, granule). Applied identically under
+/// every scheduler (including the heap oracles) so the engines stay
+/// byte-identical; an RTO fires at most ~1.05 ms later than the RFC 6298
+/// value, well inside its own safety margin.
+fn quantize_rto(deadline: SimTime) -> SimTime {
+    let g = 1u64 << crate::wheel::GRAN_BITS;
+    SimTime::from_nanos(deadline.as_nanos().saturating_add(g - 1) & !(g - 1))
 }
 
 /// Seed for a flow's delay-sample reservoir: derived from the run seed
@@ -380,7 +745,8 @@ pub struct Simulation {
     end: SimTime,
     sched: Sched,
     sched_kind: SchedulerKind,
-    tie: u64,
+    /// Monotone counter for channel-class event ties (see [`CHAN_CLASS`]).
+    chan_ctr: u64,
     /// One pending RTO-check event per flow instead of one per ACK
     /// (off only under [`SchedulerKind::NaiveHeap`]).
     rto_coalesce: bool,
@@ -411,15 +777,30 @@ pub struct Simulation {
     scratch_deliveries: Vec<QueuedPacket>,
     scratch_condemned: Vec<u64>,
     scratch_arm: Vec<(u64, SimTime)>,
+    /// Open delivery groups of the TTI being drained: `(flow,
+    /// arrival time, batch slot)`.
+    scratch_groups: Vec<(usize, SimTime, usize)>,
     /// Flows whose ledger the current event touched (invariant builds
     /// only) — conservation is checked per touched flow, not per flow.
     scratch_touched: Vec<usize>,
+    /// Raw scheduler pops (mirrors the run loop's local counter for the
+    /// sharded workers, whose rounds cross method boundaries).
+    pops: u64,
+    /// Full world or one shard of it (see [`Mode`]).
+    mode: Mode,
 }
 
 impl Simulation {
     /// Builds a simulation from a validated configuration.
     pub fn new(config: SimConfig) -> Result<Self, String> {
         config.validate()?;
+        if config.flows.len() >= MAX_FLOWS {
+            return Err(format!(
+                "flow count {} exceeds the tie-encoding limit of {}",
+                config.flows.len(),
+                MAX_FLOWS
+            ));
+        }
         let end = SimTime::ZERO + config.duration;
         let window_s = config.throughput_window.as_secs_f64();
         let seed = config.seed;
@@ -434,6 +815,7 @@ impl Simulation {
                 extra_ack_delay: f.extra_ack_delay,
                 packet_bytes: f.packet_bytes,
                 loss_detection: f.loss_detection,
+                ctr: 0,
                 transfer_bytes: f.transfer_bytes,
                 delivered_bytes: 0,
                 completed_at: None,
@@ -473,15 +855,7 @@ impl Simulation {
                 trace,
                 base_rtt,
                 loss,
-            } => Service::Cell {
-                base_duration: trace.duration().max(SimDuration::from_nanos(1)),
-                opportunities: trace.opportunities().to_vec(),
-                next_index: 0,
-                loop_offset: SimDuration::ZERO,
-                credit: 0,
-                base_rtt,
-                loss,
-            },
+            } => Service::Cell(CellService::from_trace(trace, base_rtt, loss)),
         };
 
         let scheduler = SchedulerKind::default_for_build();
@@ -490,9 +864,12 @@ impl Simulation {
             end,
             sched: Sched::new(scheduler),
             sched_kind: scheduler,
-            tie: 0,
+            chan_ctr: 0,
             rto_coalesce: scheduler != SchedulerKind::NaiveHeap,
-            batching: scheduler == SchedulerKind::Wheel,
+            batching: matches!(
+                scheduler,
+                SchedulerKind::Wheel | SchedulerKind::Sharded { .. }
+            ),
             flows,
             queue: Queue::new(config.queue),
             service,
@@ -507,17 +884,20 @@ impl Simulation {
             scratch_deliveries: Vec::new(),
             scratch_condemned: Vec::new(),
             scratch_arm: Vec::new(),
+            scratch_groups: Vec::new(),
             scratch_touched: Vec::new(),
+            pops: 0,
+            mode: Mode::Full,
         };
 
         for i in 0..sim.flows.len() {
             let start = sim.flows[i].start;
-            sim.schedule(start, EventKind::FlowStart(i));
+            sim.schedule_flow(i, start, EventKind::FlowStart(i));
         }
         // Wake the bottleneck when each blackout lifts (a blacked-out
         // fixed link refuses to start serving; something must restart it).
         for end_at in sim.impairments.blackout_ends() {
-            sim.schedule(end_at, EventKind::BlackoutEnd);
+            sim.schedule_chan(end_at, EventKind::BlackoutEnd);
         }
         if let Service::Fixed { ref schedule, .. } = sim.service {
             let steps: Vec<(usize, SimTime)> = schedule
@@ -527,22 +907,47 @@ impl Simulation {
                 .map(|(i, (t, _))| (i, *t))
                 .collect();
             for (i, t) in steps {
-                sim.schedule(t, EventKind::ParamChange(i));
+                sim.schedule_chan(t, EventKind::ParamChange(i));
             }
         }
-        if let Service::Cell {
-            ref opportunities, ..
-        } = sim.service
-        {
-            let first = opportunities[0].time;
-            sim.schedule(first, EventKind::CellOpportunity);
+        if let Service::Cell(ref c) = sim.service {
+            let first = c.opportunities[0].time;
+            sim.schedule_chan(first, EventKind::CellOpportunity);
         }
         Ok(sim)
     }
 
-    fn schedule(&mut self, time: SimTime, kind: EventKind) {
-        self.tie += 1;
-        self.sched.push(time, self.tie, kind);
+    /// Schedules a flow-class event. The tie encodes `(flow, per-flow
+    /// counter)`, so same-timestamp flow events dispatch in flow order
+    /// and, within a flow, in the order they were scheduled — independent
+    /// of any other flow's activity. That independence is what lets a
+    /// sharded worker owning a subset of flows assign exactly the ties
+    /// the sequential engine would.
+    fn schedule_flow(&mut self, flow: usize, time: SimTime, kind: EventKind) {
+        let ctr = self.flows[flow].ctr;
+        self.flows[flow].ctr = ctr + 1;
+        let g = self.global_flow(flow) as u64;
+        let tie = FLOW_CLASS | (g << 32) | u64::from(ctr);
+        self.sched.push(time, tie, kind);
+    }
+
+    /// The flow's global id: its index in `Full` mode, the round-robin
+    /// un-mapping `local * stride + w` on a sharded worker. Ties, trace
+    /// lanes and reports always use the global id, so a worker's events
+    /// carry exactly the keys the sequential engine would assign.
+    fn global_flow(&self, flow: usize) -> usize {
+        match self.mode {
+            Mode::Full => flow,
+            Mode::Worker { w, stride, .. } => flow * stride + w,
+        }
+    }
+
+    /// Schedules a channel-class event (bottleneck service, link state).
+    /// Channel events sort after every flow event at the same timestamp.
+    fn schedule_chan(&mut self, time: SimTime, kind: EventKind) {
+        self.chan_ctr += 1;
+        let tie = CHAN_CLASS | self.chan_ctr;
+        self.sched.push(time, tie, kind);
     }
 
     /// Records that the current event touched `flow`'s ledger, for the
@@ -580,7 +985,7 @@ impl Simulation {
     }
 
     /// Switches the event scheduler (see [`SchedulerKind`]), migrating
-    /// any already-scheduled events with their insertion order intact.
+    /// any already-scheduled events with their dispatch order intact.
     /// Intended for construction time — the cross-scheduler equivalence
     /// suite uses it to run both implementations from one binary.
     #[must_use]
@@ -597,7 +1002,7 @@ impl Simulation {
             self.sched.push(time, tie, ev);
         }
         self.sched_kind = kind;
-        self.batching = kind == SchedulerKind::Wheel;
+        self.batching = matches!(kind, SchedulerKind::Wheel | SchedulerKind::Sharded { .. });
         self.rto_coalesce = kind != SchedulerKind::NaiveHeap;
         // The naive core keeps its original BTreeMap tables; everything
         // else runs the ring table. Entries migrate either way (empty in
@@ -669,6 +1074,15 @@ impl Simulation {
         self.run_observed_counting(interval, observer, &mut events, &mut pops)
     }
 
+    /// Whether a [`SchedulerKind::Sharded`] run actually shards (see the
+    /// variant's docs for the fallback conditions).
+    fn can_shard(&self, workers: usize, interval: SimDuration) -> bool {
+        workers > 1
+            && !self.flows.is_empty()
+            && interval >= self.end.saturating_since(SimTime::ZERO)
+            && matches!(&self.service, Service::Cell(c) if c.base_rtt >= SimDuration::from_nanos(2))
+    }
+
     fn run_observed_counting<F>(
         mut self,
         interval: SimDuration,
@@ -679,8 +1093,14 @@ impl Simulation {
     where
         F: FnMut(SimTime, &[&dyn CongestionControl]),
     {
+        if let SchedulerKind::Sharded { workers } = self.sched_kind {
+            if self.can_shard(workers, interval) {
+                return crate::shard::run_sharded(self, workers, events_out, pops_out);
+            }
+        }
         if interval < self.end.saturating_since(SimTime::ZERO) {
-            self.schedule(SimTime::ZERO + interval, EventKind::Observe);
+            self.sched
+                .push(SimTime::ZERO + interval, OBSERVE_TIE, EventKind::Observe);
         }
         while let Some((time, _tie, kind)) = self.sched.pop_next() {
             if time > self.end {
@@ -691,11 +1111,14 @@ impl Simulation {
             *pops_out += 1;
             match kind {
                 EventKind::Observe => {
+                    // Observer callbacks sample many flows' controllers;
+                    // their records are not any one flow's lane.
+                    verus_trace::lane::clear();
                     let ccs: Vec<&dyn CongestionControl> =
                         self.flows.iter().map(|f| f.cc.as_ref()).collect();
                     observer(self.now, &ccs);
                     let next = self.now + interval;
-                    self.schedule(next, EventKind::Observe);
+                    self.sched.push(next, OBSERVE_TIE, EventKind::Observe);
                 }
                 other => {
                     if crate::invariants::ENABLED {
@@ -711,29 +1134,7 @@ impl Simulation {
         self.flows
             .into_iter()
             .enumerate()
-            .map(|(i, f)| FlowReport {
-                protocol: f.cc.name().to_string(),
-                flow: i,
-                throughput: f.throughput,
-                delays_ms: f.delays.into_samples(),
-                delay_stats: f.delay_stats,
-                sent: f.sent,
-                delivered: f.delivered,
-                fast_losses: f.fast_losses,
-                timeouts: f.timeouts,
-                radio_lost: f.radio_lost,
-                queue_drops: f.queue_drops,
-                impaired_lost: f.impaired_lost,
-                corrupt_dropped: f.corrupt_dropped,
-                shed_dropped: f.shed_dropped,
-                dup_injected: f.dup_injected,
-                residual_in_queue: f.in_queue,
-                residual_in_transit: f.in_transit,
-                active_secs: (end_secs - f.start.as_secs_f64()).max(0.0),
-                completion_secs: f
-                    .completed_at
-                    .map(|t| t.saturating_since(f.start).as_secs_f64()),
-            })
+            .map(|(i, f)| build_report(i, f, end_secs))
             .collect()
     }
 
@@ -748,6 +1149,12 @@ impl Simulation {
     fn check_conservation(&self) {
         #[cfg(any(debug_assertions, feature = "strict-invariants"))]
         {
+            // A worker's ledger is only half the story (the channel
+            // counters live with the merger); conservation is re-checked
+            // per flow on the folded ledger at quiesce instead.
+            if !matches!(self.mode, Mode::Full) {
+                return;
+            }
             for &i in &self.scratch_touched {
                 crate::invariants::packet_conservation(i, &self.flows[i].ledger());
             }
@@ -767,13 +1174,44 @@ impl Simulation {
         }
     }
 
+    /// Which flow's event this is, if it is flow-class (the trace-lane
+    /// tag; see [`verus_trace::lane`]). Channel events return `None`.
+    fn event_flow(&self, kind: &EventKind) -> Option<usize> {
+        match *kind {
+            EventKind::FlowStart(i) | EventKind::CcTick(i) | EventKind::RtoCheck(i) => Some(i),
+            EventKind::Deliver { flow, .. }
+            | EventKind::AckArrive { flow, .. }
+            | EventKind::GapTimer { flow, .. } => Some(flow),
+            EventKind::DeliverBatch(slot) | EventKind::AckBatch(slot) => {
+                Some(self.batches[slot].flow)
+            }
+            EventKind::FixedDepart
+            | EventKind::CellOpportunity
+            | EventKind::ParamChange(_)
+            | EventKind::BlackoutEnd
+            | EventKind::Observe => None,
+        }
+    }
+
     fn dispatch(&mut self, kind: EventKind) {
+        // Tag the thread with the flow whose event this is, so trace
+        // records it emits (possibly via batched flushes) are exported
+        // in an order both the sequential and the sharded engine agree
+        // on. Channel events untag: their record attribution (none in
+        // practice) must not leak a stale lane.
+        match self.event_flow(&kind) {
+            Some(f) => {
+                let g = self.global_flow(f);
+                verus_trace::lane::set(u32::try_from(g).unwrap_or(u32::MAX - 1));
+            }
+            None => verus_trace::lane::clear(),
+        }
         match kind {
             EventKind::FlowStart(i) => {
                 self.touch(i);
                 self.flows[i].started = true;
                 if let Some(tick) = self.flows[i].cc.tick_interval() {
-                    self.schedule(self.now + tick, EventKind::CcTick(i));
+                    self.schedule_flow(i, self.now + tick, EventKind::CcTick(i));
                 }
                 self.pump(i);
             }
@@ -782,7 +1220,7 @@ impl Simulation {
                 let now = self.now;
                 self.flows[i].cc.on_tick(now);
                 if let Some(tick) = self.flows[i].cc.tick_interval() {
-                    self.schedule(self.now + tick, EventKind::CcTick(i));
+                    self.schedule_flow(i, self.now + tick, EventKind::CcTick(i));
                 }
                 self.pump(i);
             }
@@ -798,7 +1236,8 @@ impl Simulation {
                 self.record_delivery(flow, bytes, sent_at);
                 // Receiver ACKs immediately; ACK path is uncongested.
                 let ack_at = self.now + self.ack_delay(flow);
-                self.schedule(
+                self.schedule_flow(
+                    flow,
                     ack_at,
                     EventKind::AckArrive {
                         flow,
@@ -824,7 +1263,7 @@ impl Simulation {
                 self.batches[slot].delivered_at = self.now;
                 self.batches[slot].pkts = pkts;
                 let ack_at = self.now + self.ack_delay(flow);
-                self.schedule(ack_at, EventKind::AckBatch(slot));
+                self.schedule_flow(flow, ack_at, EventKind::AckBatch(slot));
             }
             EventKind::AckArrive {
                 flow,
@@ -905,7 +1344,7 @@ impl Simulation {
     fn base_rtt(&self) -> SimDuration {
         match &self.service {
             Service::Fixed { current, .. } => current.base_rtt,
-            Service::Cell { base_rtt, .. } => *base_rtt,
+            Service::Cell(c) => c.base_rtt,
         }
     }
 
@@ -921,7 +1360,7 @@ impl Simulation {
     fn loss_prob(&self) -> f64 {
         match &self.service {
             Service::Fixed { current, .. } => current.loss,
-            Service::Cell { loss, .. } => *loss,
+            Service::Cell(c) => c.loss,
         }
     }
 
@@ -1012,49 +1451,51 @@ impl Simulation {
         f.sent += 1;
         f.cc.on_packet_sent(now, seq, u64::from(bytes));
         if f.rto_deadline.is_none() {
-            let deadline = now + f.rtt.rto();
+            let deadline = quantize_rto(now + f.rtt.rto());
             f.rto_deadline = Some(deadline);
             self.arm_rto_check(flow, deadline);
         }
-        // Stochastic (radio) loss happens before the queue: the packet
-        // simply never arrives; the sender finds out via its detectors.
-        let p = self.loss_prob();
-        if p > 0.0 && self.rng.gen::<f64>() < p {
-            self.flows[flow].radio_lost += 1;
+        // Sharded worker: the channel half (loss draw, impairments,
+        // queue admission) is the merger's job — log the launch and
+        // stop. The merger replays all workers' logs in `(time, flow)`
+        // order, which reproduces the sequential RNG stream exactly.
+        let g = self.global_flow(flow);
+        if let Mode::Worker {
+            ref mut launches, ..
+        } = self.mode
+        {
+            launches.push(Launch {
+                time: now,
+                flow: g,
+                seq,
+                bytes,
+            });
             return;
         }
-        // Impairment stage (blackouts, burst loss, duplication); draws
-        // from its own RNG stream, so a no-op pipeline leaves the base
-        // channel's random sequence untouched.
-        let copies = match self.impairments.on_ingress(now) {
-            IngressFate::Lost => {
-                self.flows[flow].impaired_lost += 1;
-                return;
-            }
-            IngressFate::Pass { duplicate: false } => 1,
-            IngressFate::Pass { duplicate: true } => {
-                self.flows[flow].dup_injected += 1;
-                2
-            }
-        };
-        for _ in 0..copies {
-            let uniform = self.rng.gen::<f64>();
-            let accepted = self.queue.enqueue(
-                QueuedPacket {
-                    flow,
-                    seq,
-                    bytes,
-                    enqueued: now,
-                },
-                uniform,
-            );
-            if accepted == EnqueueResult::Queued {
-                self.flows[flow].in_queue += 1;
-                self.in_queue_total += 1;
-                self.maybe_start_fixed_service();
-            } else {
-                self.flows[flow].queue_drops += 1;
-            }
+        let loss = self.loss_prob();
+        let f = &mut self.flows[flow];
+        let queued = launch_into_channel(
+            &mut self.rng,
+            &mut self.impairments,
+            &mut self.queue,
+            loss,
+            now,
+            flow,
+            seq,
+            bytes,
+            ChanCounters {
+                radio_lost: &mut f.radio_lost,
+                impaired_lost: &mut f.impaired_lost,
+                dup_injected: &mut f.dup_injected,
+                queue_drops: &mut f.queue_drops,
+                in_queue: &mut f.in_queue,
+            },
+        );
+        self.in_queue_total += queued;
+        for _ in 0..queued {
+            // One kick per accepted copy, as the inline loop did. (The
+            // second call is a no-op: the link is already busy.)
+            self.maybe_start_fixed_service();
         }
     }
 
@@ -1083,7 +1524,7 @@ impl Simulation {
         };
         *busy = true;
         let done = self.now + current.serialize_time(bytes);
-        self.schedule(done, EventKind::FixedDepart);
+        self.schedule_chan(done, EventKind::FixedDepart);
     }
 
     fn on_fixed_depart(&mut self) {
@@ -1101,8 +1542,14 @@ impl Simulation {
     /// Ledger + metrics bookkeeping for one packet reaching the
     /// receiver (shared by per-packet `Deliver` and `DeliverBatch`).
     fn record_delivery(&mut self, flow: usize, bytes: u32, sent_at: SimTime) {
+        // On a sharded worker the matching increment lives in the
+        // merger's ledger (`ChanLedger::departed`); the quiesce fold
+        // computes the residual as `departed - delivered`.
+        let full = matches!(self.mode, Mode::Full);
         let f = &mut self.flows[flow];
-        f.in_transit -= 1;
+        if full {
+            f.in_transit -= 1;
+        }
         f.delivered += 1;
         f.delivered_bytes += u64::from(bytes);
         if let Some(limit) = f.transfer_bytes {
@@ -1150,7 +1597,8 @@ impl Simulation {
 
     fn depart(&mut self, pkt: QueuedPacket) {
         if let Some((deliver_at, sent_at)) = self.process_departure(&pkt) {
-            self.schedule(
+            self.schedule_flow(
+                pkt.flow,
                 deliver_at,
                 EventKind::Deliver {
                     flow: pkt.flow,
@@ -1189,63 +1637,33 @@ impl Simulation {
         // `self.queue` and `self.service` are borrowed.
         let mut deliveries = std::mem::take(&mut self.scratch_deliveries);
         debug_assert!(deliveries.is_empty());
-        {
-            let Service::Cell {
-                ref opportunities,
-                ref mut next_index,
-                ref base_duration,
-                ref mut loop_offset,
-                ref mut credit,
-                ..
-            } = self.service
-            else {
+        let now = self.now;
+        let t = {
+            let Service::Cell(ref mut cell) = self.service else {
                 return;
             };
-            let opp = opportunities[*next_index];
-            // Credit accumulates only against a backlog; capacity cannot
-            // be banked while there is nothing to send (mahimahi
-            // semantics).
-            if blackout || self.queue.is_empty() {
-                *credit = 0;
-            } else {
-                *credit += u64::from(opp.bytes);
-                while let Some(head) = self.queue.peek_bytes() {
-                    if u64::from(head) > *credit {
-                        break;
-                    }
-                    let Some(pkt) = self.queue.dequeue() else { break };
-                    *credit -= u64::from(head);
-                    deliveries.push(pkt);
-                }
-                if self.queue.is_empty() {
-                    *credit = 0;
-                }
-            }
-            // Schedule the next opportunity (looping the trace).
-            *next_index += 1;
-            if *next_index >= opportunities.len() {
-                *next_index = 0;
-                *loop_offset += *base_duration;
-            }
-            let next_time = opportunities[*next_index].time + *loop_offset;
-            let t = next_time.max(self.now);
-            self.schedule(t, EventKind::CellOpportunity);
-        }
+            cell.drain(now, blackout, &mut self.queue, &mut deliveries)
+        };
+        self.schedule_chan(t, EventKind::CellOpportunity);
         // Phase 2: egress impairments + delivery scheduling. On the
-        // wheel scheduler, consecutive packets of the same flow arriving
-        // at the same instant coalesce into one `DeliverBatch` event.
+        // wheel scheduler, *all* packets of one flow arriving at one
+        // instant coalesce into a single `DeliverBatch` event, however
+        // their drain positions interleaved with other flows.
         //
-        // Equivalence with the per-packet oracle: the oracle schedules
-        // this TTI's `Deliver` events back-to-back (consecutive tie
-        // values — nothing else schedules in between), so no foreign
-        // same-timestamp event can interleave a batch's run; replaying
-        // the run inside one event preserves the exact dispatch order.
-        // Egress impairment draws stay one-per-packet in drain order, so
-        // the RNG streams are identical too. Corrupted packets produce
-        // no event in either mode (and so never split a batch).
+        // Equivalence with the per-packet oracle: under the canonical
+        // tie order, the oracle dispatches this TTI's same-timestamp
+        // `Deliver` events grouped by flow (flow ascending, then drain
+        // order within the flow) no matter how the drain interleaved —
+        // exactly the order a per-(flow, arrival) batch replays. Egress
+        // impairment draws stay one-per-packet in drain order, so the
+        // RNG streams are identical too. Corrupted packets produce no
+        // event in either mode (and so never split a batch). Grouping
+        // across the whole TTI is also the many-flow perf fix: round-
+        // robin queue drains fragment *adjacent* runs into near-per-
+        // packet batches, but per-(flow, arrival) groups stay whole.
         if self.batching {
-            // Open batch: (flow, deliver_at, slab slot).
-            let mut open: Option<(usize, SimTime, usize)> = None;
+            let mut groups = std::mem::take(&mut self.scratch_groups);
+            debug_assert!(groups.is_empty());
             for pkt in deliveries.drain(..) {
                 let Some((deliver_at, sent_at)) = self.process_departure(&pkt) else {
                     continue;
@@ -1255,23 +1673,24 @@ impl Simulation {
                     bytes: pkt.bytes,
                     sent_at,
                 };
-                match open {
-                    Some((flow, at, slot)) if flow == pkt.flow && at == deliver_at => {
-                        self.batches[slot].pkts.push(bp);
-                    }
-                    _ => {
-                        if let Some((_, at, slot)) = open {
-                            self.schedule(at, EventKind::DeliverBatch(slot));
-                        }
+                // A TTI holds a handful of (flow, arrival) groups —
+                // linear scan beats hashing at this size.
+                match groups
+                    .iter()
+                    .find(|&&(flow, at, _)| flow == pkt.flow && at == deliver_at)
+                {
+                    Some(&(_, _, slot)) => self.batches[slot].pkts.push(bp),
+                    None => {
                         let slot = self.alloc_batch(pkt.flow);
                         self.batches[slot].pkts.push(bp);
-                        open = Some((pkt.flow, deliver_at, slot));
+                        groups.push((pkt.flow, deliver_at, slot));
                     }
                 }
             }
-            if let Some((_, at, slot)) = open {
-                self.schedule(at, EventKind::DeliverBatch(slot));
+            for (flow, at, slot) in groups.drain(..) {
+                self.schedule_flow(flow, at, EventKind::DeliverBatch(slot));
             }
+            self.scratch_groups = groups;
         } else {
             for pkt in deliveries.drain(..) {
                 self.depart(pkt);
@@ -1312,7 +1731,7 @@ impl Simulation {
             f.rto_deadline = if f.outstanding.is_empty() {
                 None
             } else {
-                Some(now + f.rtt.rto())
+                Some(quantize_rto(now + f.rtt.rto()))
             };
             f.cc.on_ack(
                 now,
@@ -1355,7 +1774,7 @@ impl Simulation {
             });
         }
         for (hole, deadline) in to_arm.drain(..) {
-            self.schedule(deadline, EventKind::GapTimer { flow, seq: hole });
+            self.schedule_flow(flow, deadline, EventKind::GapTimer { flow, seq: hole });
         }
         for hole in condemned.drain(..) {
             self.declare_fast_loss(flow, hole);
@@ -1413,7 +1832,7 @@ impl Simulation {
         // pump below) goes out; pump's arming path would use the plain
         // RTO, so pre-arm here.
         let backoff = f.rtt.backed_off_rto(f.rto_retries);
-        let deadline = now + backoff;
+        let deadline = quantize_rto(now + backoff);
         f.rto_deadline = Some(deadline);
         self.arm_rto_check(flow, deadline);
         self.pump(flow);
@@ -1427,16 +1846,171 @@ impl Simulation {
     /// call, exactly like the original implementation.
     fn arm_rto_check(&mut self, flow: usize, deadline: SimTime) {
         if !self.rto_coalesce {
-            self.schedule(deadline, EventKind::RtoCheck(flow));
+            self.schedule_flow(flow, deadline, EventKind::RtoCheck(flow));
             return;
         }
         match self.flows[flow].rto_check_at {
             Some(t) if t <= deadline => {}
             _ => {
                 self.flows[flow].rto_check_at = Some(deadline);
-                self.schedule(deadline, EventKind::RtoCheck(flow));
+                self.schedule_flow(flow, deadline, EventKind::RtoCheck(flow));
             }
         }
+    }
+
+    // ---- sharding (see `crate::shard`) ---------------------------------
+
+    /// Tears a fully-configured simulation into the merger's channel
+    /// state and `workers` worker shards. Flow `g` goes to worker
+    /// `g % workers` (local index `g / workers`); each worker re-assigns
+    /// its flows' `FlowStart` events from a reset per-flow counter, so
+    /// every tie it will ever issue matches what the sequential engine
+    /// would have issued for the same flow. Workers get inert stand-ins
+    /// for the channel state (an empty service, a dummy queue, a
+    /// never-drawn RNG, a no-op impairment pipeline): the merger owns
+    /// the real ones.
+    pub(crate) fn split_for_shards(self, workers: usize) -> (MergeParts, Vec<Simulation>) {
+        let Simulation {
+            end,
+            mut sched,
+            chan_ctr,
+            flows,
+            queue,
+            service,
+            rng,
+            impairments,
+            seed,
+            record_delay_samples,
+            ..
+        } = self;
+        debug_assert!(matches!(service, Service::Cell(_)), "can_shard requires a cell bottleneck");
+        let cell = match service {
+            Service::Cell(c) => c,
+            // Unreachable behind `can_shard`; an inert service keeps
+            // this path panic-free.
+            Service::Fixed { .. } => CellService::stub(SimDuration::from_nanos(2), 0.0),
+        };
+        // Channel-class events (the first cell opportunity, blackout
+        // ends) move to the merger with their original ties; the only
+        // flow-class events that exist before `run` are the `FlowStart`s,
+        // which the workers re-create below.
+        let mut chan_events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        while let Some((time, tie, kind)) = sched.pop_next() {
+            if tie & CHAN_CLASS != 0 {
+                chan_events.push(Reverse(Event { time, tie, kind }));
+            } else {
+                debug_assert!(
+                    matches!(kind, EventKind::FlowStart(_)),
+                    "pre-run scheduler held a non-FlowStart flow event"
+                );
+            }
+        }
+        let fwd_extra: Vec<SimDuration> = flows.iter().map(|f| f.extra_fwd_delay).collect();
+        let (base_rtt, loss) = (cell.base_rtt, cell.loss);
+        let mut worker_flows: Vec<Vec<FlowState>> = (0..workers).map(|_| Vec::new()).collect();
+        for (g, mut f) in flows.into_iter().enumerate() {
+            f.ctr = 0;
+            worker_flows[g % workers].push(f);
+        }
+        let sims: Vec<Simulation> = worker_flows
+            .into_iter()
+            .enumerate()
+            .map(|(w, wf)| {
+                let mut sim = Simulation {
+                    now: SimTime::ZERO,
+                    end,
+                    sched: Sched::new(SchedulerKind::Wheel),
+                    sched_kind: SchedulerKind::Wheel,
+                    chan_ctr: 0,
+                    rto_coalesce: true,
+                    batching: true,
+                    flows: wf,
+                    queue: Queue::new(crate::queue::QueueConfig::deep_droptail()),
+                    service: Service::Cell(CellService::stub(base_rtt, loss)),
+                    rng: StdRng::seed_from_u64(seed),
+                    impairments: Impairments::new(
+                        crate::impairment::ImpairmentConfig::default(),
+                    ),
+                    seed,
+                    record_delay_samples,
+                    events: 0,
+                    in_queue_total: 0,
+                    batches: Vec::new(),
+                    batch_free: Vec::new(),
+                    scratch_deliveries: Vec::new(),
+                    scratch_condemned: Vec::new(),
+                    scratch_arm: Vec::new(),
+                    scratch_groups: Vec::new(),
+                    scratch_touched: Vec::new(),
+                    pops: 0,
+                    mode: Mode::Worker {
+                        launches: Vec::new(),
+                        w,
+                        stride: workers,
+                    },
+                };
+                for i in 0..sim.flows.len() {
+                    let start = sim.flows[i].start;
+                    sim.schedule_flow(i, start, EventKind::FlowStart(i));
+                }
+                sim
+            })
+            .collect();
+        (
+            MergeParts {
+                end,
+                queue,
+                cell,
+                rng,
+                impairments,
+                chan_events,
+                chan_ctr,
+                fwd_extra,
+            },
+            sims,
+        )
+    }
+
+    /// One sharded round: drains every event with `time ≤ bound` (the
+    /// same loop body as the sequential engine, bounded) and returns the
+    /// launches logged along the way — already in `(time, flow)` order,
+    /// because events dispatch in `(time, tie)` order and a launch
+    /// carries its dispatching event's time and flow.
+    pub(crate) fn run_round(&mut self, bound: SimTime) -> Vec<Launch> {
+        while let Some((time, _tie, kind)) = self.sched.pop_next_before(bound) {
+            self.now = time;
+            self.events += 1;
+            self.pops += 1;
+            if crate::invariants::ENABLED {
+                self.scratch_touched.clear();
+            }
+            self.dispatch(kind);
+            self.check_conservation();
+        }
+        match self.mode {
+            Mode::Worker {
+                ref mut launches, ..
+            } => std::mem::take(launches),
+            Mode::Full => Vec::new(),
+        }
+    }
+
+    /// Installs one delivery batch the merger routed here: allocates a
+    /// slot and schedules the `DeliverBatch`, consuming this flow's tie
+    /// counter exactly when the sequential engine's TTI drain would
+    /// have (batches are ingested in the merger's group order, before
+    /// the round whose events run after the drain's timestamp).
+    pub(crate) fn ingest_batch(&mut self, local: usize, at: SimTime, pkts: Vec<BatchPkt>) {
+        let slot = self.alloc_batch(local);
+        debug_assert!(self.batches[slot].pkts.is_empty());
+        self.batches[slot].pkts = pkts;
+        self.schedule_flow(local, at, EventKind::DeliverBatch(slot));
+    }
+
+    /// Tears a finished worker down into its flows and its
+    /// `(logical events, raw pops)` counters.
+    pub(crate) fn into_worker_parts(self) -> (Vec<FlowState>, u64, u64) {
+        (self.flows, self.events, self.pops)
     }
 }
 

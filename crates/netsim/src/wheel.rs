@@ -24,11 +24,13 @@
 //!
 //! ## Determinism
 //!
-//! Events are delivered in exactly the global `(time, tie)` order the
-//! old heap produced: same-timestamp events pop in insertion (FIFO)
-//! order because the caller's monotone tie-breaker is part of the sort
-//! key inside each granule bucket, and granules are visited in time
-//! order. `tests::matches_reference_heap` pins this against a
+//! Events are delivered in exactly the global `(time, tie)` order a
+//! `BinaryHeap` would produce: the caller's tie-breaker is part of the
+//! sort key inside each granule bucket, and granules are visited in
+//! time order. Ties need not be globally monotone — the event loop's
+//! canonical ties (per-flow counters, see `crate::sim`) interleave
+//! freely — they only have to make `(time, tie)` unique among pending
+//! events. `tests::matches_reference_heap` pins this against a
 //! `BinaryHeap` oracle over adversarial schedules.
 //!
 //! ## Cascading correctness
@@ -43,7 +45,9 @@
 use verus_nettypes::SimTime;
 
 /// log2 of the inner-slot width in nanoseconds (2²⁰ ns ≈ 1.05 ms).
-const GRAN_BITS: u32 = 20;
+/// Crate-visible: the event loop quantizes RTO deadlines to this
+/// granule so per-ACK deadline churn costs one insert per granule.
+pub(crate) const GRAN_BITS: u32 = 20;
 /// log2 of the slot count per level.
 const SLOT_BITS: u32 = 6;
 /// Slots per level.
@@ -93,8 +97,8 @@ impl<K> Level<K> {
 
 /// A hierarchical timing wheel over nanosecond [`SimTime`] stamps.
 ///
-/// `K` is the event payload. The caller supplies a strictly increasing
-/// `tie` with each event; [`TimingWheel::pop_next`] returns events in
+/// `K` is the event payload. The caller supplies a `tie` making
+/// `(time, tie)` unique; [`TimingWheel::pop_next`] returns events in
 /// `(time, tie)` order.
 pub struct TimingWheel<K> {
     /// Cursor: every event with `time < cur` has been popped. Always a
@@ -139,9 +143,10 @@ impl<K> TimingWheel<K> {
         self.len == 0
     }
 
-    /// Schedules `kind` at `time`. `tie` must be strictly greater than
-    /// every tie previously scheduled (the caller's insertion counter);
-    /// `time` must be no earlier than the last popped event's time.
+    /// Schedules `kind` at `time`. `(time, tie)` must be unique among
+    /// pending events (ties may otherwise repeat or decrease across
+    /// calls); `time` must be no earlier than the last popped event's
+    /// time.
     pub fn schedule(&mut self, time: SimTime, tie: u64, kind: K) {
         self.len += 1;
         self.place(Entry {
@@ -154,6 +159,33 @@ impl<K> TimingWheel<K> {
     /// Removes and returns the earliest event as `(time, tie, kind)`.
     pub fn pop_next(&mut self) -> Option<(SimTime, u64, K)> {
         if self.current.is_empty() && !self.refill() {
+            return None;
+        }
+        let std::cmp::Reverse(e) = self.current.pop()?;
+        self.len -= 1;
+        Some((SimTime::from_nanos(e.time), e.tie, e.kind))
+    }
+
+    /// Like [`TimingWheel::pop_next`], but only if the earliest event's
+    /// time is `≤ bound`; otherwise returns `None` and leaves the event
+    /// pending. The sharded engine drains each worker up to a barrier
+    /// time with this.
+    ///
+    /// A `None` may still have advanced the cursor to the (out-of-bound)
+    /// earliest event's granule. That is safe for later `schedule` calls
+    /// with times in `(bound, earliest]`: `place` routes a time at or
+    /// before the cursor's granule into the current bucket, which is a
+    /// heap, so `(time, tie)` pop order is preserved. The bounded-oracle
+    /// test below pins exactly this shape.
+    pub fn pop_next_before(&mut self, bound: SimTime) -> Option<(SimTime, u64, K)> {
+        if self.current.is_empty() && !self.refill() {
+            return None;
+        }
+        // After a refill the current bucket holds the earliest pending
+        // granule, and every slot/overflow event is in a strictly later
+        // granule — so the bucket top is the global minimum.
+        let top = self.current.peek()?;
+        if top.0.time > bound.as_nanos() {
             return None;
         }
         let std::cmp::Reverse(e) = self.current.pop()?;
@@ -381,6 +413,93 @@ mod tests {
             assert_eq!((t.as_nanos(), got_tie), (et, etie));
         }
         assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn bounded_pop_respects_the_bound() {
+        let mut w = TimingWheel::new();
+        w.schedule(SimTime::from_nanos(100), 0, 1);
+        w.schedule(SimTime::from_nanos(200), 1, 2);
+        w.schedule(SimTime::from_millis(500), 2, 3);
+        assert_eq!(
+            w.pop_next_before(SimTime::from_nanos(150)).map(|(_, _, k)| k),
+            Some(1)
+        );
+        assert_eq!(w.pop_next_before(SimTime::from_nanos(150)), None);
+        assert_eq!(w.len(), 2);
+        assert_eq!(
+            w.pop_next_before(SimTime::from_nanos(200)).map(|(_, _, k)| k),
+            Some(2)
+        );
+        // The remaining event is far future; a bounded pop refuses it
+        // even after the refill has advanced the cursor toward it.
+        assert_eq!(w.pop_next_before(SimTime::from_millis(1)), None);
+        assert_eq!(w.pop_next().map(|(_, _, k)| k), Some(3));
+        assert!(w.pop_next_before(SimTime::from_secs(10)).is_none());
+    }
+
+    #[test]
+    fn schedule_between_bound_and_refused_event_still_pops_in_order() {
+        // The sharded round shape: a bounded pop refuses a far-future
+        // event (cursor may now sit at its granule), then the merger
+        // schedules deliveries *earlier* than that event but after the
+        // bound. They must pop before the refused event.
+        let g = 1u64 << GRAN_BITS;
+        let mut w = TimingWheel::new();
+        w.schedule(SimTime::from_nanos(10), 0, 10);
+        w.schedule(SimTime::from_nanos(90 * g), 1, 90);
+        assert_eq!(w.pop_next_before(SimTime::from_nanos(50)).map(|(_, _, k)| k), Some(10));
+        // Bound well before the granule-90 event: refused.
+        assert_eq!(w.pop_next_before(SimTime::from_nanos(2 * g)), None);
+        // Batch arrivals between the bound and the refused event, one of
+        // them in the refused event's own granule.
+        w.schedule(SimTime::from_nanos(5 * g), 2, 5);
+        w.schedule(SimTime::from_nanos(90 * g - 1), 3, 89);
+        w.schedule(SimTime::from_nanos(90 * g + 1), 4, 91);
+        assert_eq!(w.pop_next().map(|(_, _, k)| k), Some(5));
+        assert_eq!(w.pop_next().map(|(_, _, k)| k), Some(89));
+        assert_eq!(w.pop_next().map(|(_, _, k)| k), Some(90));
+        assert_eq!(w.pop_next().map(|(_, _, k)| k), Some(91));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn bounded_pop_matches_reference_heap_rounds() {
+        // Round-based oracle: drain in bounded windows with fresh events
+        // scheduled between rounds, against a sorted reference.
+        let mut rng = SplitMix64(41);
+        let mut w = TimingWheel::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        let mut tie = 0u64;
+        let mut now = 0u64;
+        for round in 1..=200u64 {
+            let bound = round * 5_000_000; // 5 ms rounds
+            for _ in 0..(rng.next() % 8) {
+                let t = now + rng.next() % 40_000_000;
+                w.schedule(SimTime::from_nanos(t), tie, 0);
+                reference.push((t, tie));
+                tie += 1;
+            }
+            reference.sort_unstable();
+            let mut idx = 0;
+            while let Some((t, got_tie, _)) = w.pop_next_before(SimTime::from_nanos(bound)) {
+                assert_eq!((t.as_nanos(), got_tie), reference[idx], "round {round}");
+                assert!(t.as_nanos() <= bound);
+                now = now.max(t.as_nanos());
+                idx += 1;
+            }
+            if idx < reference.len() {
+                assert!(reference[idx].0 > bound, "stopped early in round {round}");
+            }
+            reference.drain(..idx);
+            now = now.max(bound);
+        }
+        let mut idx = 0;
+        while let Some((t, got_tie, _)) = w.pop_next() {
+            assert_eq!((t.as_nanos(), got_tie), reference[idx]);
+            idx += 1;
+        }
+        assert_eq!(idx, reference.len());
     }
 
     #[test]

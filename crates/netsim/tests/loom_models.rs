@@ -1,0 +1,110 @@
+//! Model-checked replica of the sharded simulator's barrier protocol.
+//!
+//! `shard.rs::run_sharded` runs one round per bottleneck TTI: the merger
+//! sends a `Round` to every worker, each worker simulates its flows up
+//! to the round bound and posts its per-flow service demand (the launch
+//! log), and the merger blocks on every response channel before merging
+//! the demands **in fixed global flow order** and replaying them into
+//! the channel. The blocking `recv()` per worker is the barrier: the
+//! merger can never observe a round's channel state until *both* shards
+//! have posted, so the merged sequence — and therefore every RED draw
+//! and impairment draw downstream — is the same for every thread
+//! schedule.
+//!
+//! These models make that argument executable with two shards and a
+//! merger. The first replays the handshake under every sequentially
+//! consistent interleaving and asserts the merged demand is the fixed
+//! flow-order sequence with each demand counted exactly once. The
+//! second deletes the barrier (the merger reads the demand slots while
+//! the workers may still be running) and proves that *some* schedule
+//! then merges a stale round — the divergence the real protocol's
+//! `recv()` forbids.
+
+use std::sync::Arc;
+
+use verus_model::sync::{AtomicU64, Ordering};
+use verus_model::{exists_failing, model, thread};
+
+/// Two global flows, round-robin across two shards (worker = flow % 2),
+/// exactly like `split_for_shards` — one flow per shard keeps the
+/// interleaving space inside the exhaustive-exploration cap while still
+/// crossing the shard boundary on every merge.
+const FLOWS: usize = 2;
+const WORKERS: usize = 2;
+const ROUNDS: u64 = 2;
+
+/// The demand worker `w` posts for its local copy of global flow `g` in
+/// round `r` — distinct per (round, flow) so a stale or double merge is
+/// visible in the merged sequence.
+fn demand(r: u64, g: usize) -> u64 {
+    1 + r * 10 + g as u64
+}
+
+/// One worker's round: simulate (post a demand per owned flow), then
+/// signal completion. The loops are bounded by `FLOWS` and `ROUNDS`.
+fn worker_round(w: usize, r: u64, demands: &[AtomicU64]) {
+    for g in (0..FLOWS).filter(|g| g % WORKERS == w) {
+        demands[g].store(demand(r, g), Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn barrier_merge_is_exactly_once_in_flow_order_under_all_schedules() {
+    let stats = model(|| {
+        let demands: Arc<Vec<AtomicU64>> =
+            Arc::new((0..FLOWS).map(|_| AtomicU64::new(0)).collect());
+        for r in 0..ROUNDS {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|w| {
+                    let demands = Arc::clone(&demands);
+                    thread::spawn(move || worker_round(w, r, &demands))
+                })
+                .collect();
+            // The barrier: in `run_sharded` this is the per-worker
+            // `resp_rx.recv()`; joining the round's worker threads is
+            // the same happens-before edge.
+            for h in handles {
+                h.join();
+            }
+            // Merge in fixed global flow order, as `replay_launches`
+            // does. Every schedule must yield this exact sequence.
+            let merged: Vec<u64> = (0..FLOWS)
+                .map(|g| demands[g].swap(0, Ordering::SeqCst))
+                .collect();
+            let want: Vec<u64> = (0..FLOWS).map(|g| demand(r, g)).collect();
+            assert_eq!(merged, want, "round {r}: merged demand diverged");
+        }
+    });
+    assert!(!stats.truncated, "barrier handshake explored exhaustively");
+    assert!(stats.schedules > 1, "interleavings were actually explored");
+}
+
+#[test]
+fn merging_without_the_barrier_reads_a_stale_round_in_some_schedule() {
+    // Delete the barrier: the merger reads the demand slots right after
+    // spawning the round's workers, joining only afterwards. Some
+    // schedule now merges before a shard has posted — the merger sees
+    // the previous round's demand (or the zero initial state) and the
+    // deterministic replay breaks.
+    let found = exists_failing(|| {
+        let demands: Arc<Vec<AtomicU64>> =
+            Arc::new((0..FLOWS).map(|_| AtomicU64::new(0)).collect());
+        for r in 0..ROUNDS {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|w| {
+                    let demands = Arc::clone(&demands);
+                    thread::spawn(move || worker_round(w, r, &demands))
+                })
+                .collect();
+            let merged: Vec<u64> = (0..FLOWS)
+                .map(|g| demands[g].swap(0, Ordering::SeqCst))
+                .collect();
+            for h in handles {
+                h.join();
+            }
+            let want: Vec<u64> = (0..FLOWS).map(|g| demand(r, g)).collect();
+            assert_eq!(merged, want, "round {r}: merged demand diverged");
+        }
+    });
+    assert!(found, "the unsynchronized merge must fail in some schedule");
+}

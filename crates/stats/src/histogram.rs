@@ -98,6 +98,36 @@ impl Histogram {
             .collect()
     }
 
+    /// Merges another histogram into this one by bin-wise addition.
+    ///
+    /// Because binning is a pure function of the sample value and the
+    /// (shared) bin geometry, merging per-shard histograms bin-wise is
+    /// *exact*: the result equals the histogram of the concatenated
+    /// sample stream, whatever the split.
+    ///
+    /// # Panics
+    /// Panics if the two histograms have different ranges or bin counts —
+    /// merging incompatible geometries silently would corrupt every
+    /// downstream CDF.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "histogram merge needs identical geometry: [{}, {}) x{} vs [{}, {}) x{}",
+            self.lo,
+            self.hi,
+            self.counts.len(),
+            other.lo,
+            other.hi,
+            other.counts.len(),
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
     /// Empirical CDF evaluated at bin upper edges.
     #[must_use]
     pub fn cdf(&self) -> Vec<(f64, f64)> {

@@ -219,6 +219,82 @@ impl P2Quantile {
         Some(self.q[2])
     }
 
+    /// Merges another estimator for the *same* quantile into this one.
+    ///
+    /// P² keeps five markers, not the sample, so a lossless merge is
+    /// impossible in general — this combine is **approximate** and
+    /// documented as such (the exact members of [`crate::StreamingStats`]
+    /// — count, mean, variance, histogram — are what shard merges rely
+    /// on for byte-stable numbers):
+    ///
+    /// * while the combined count is ≤ 5, both sides still hold raw
+    ///   samples, so the merge replays them and stays *exact*;
+    /// * when one side holds < 5 raw samples, they are replayed into the
+    ///   converged side (exactly what pushing them in that order would
+    ///   have done);
+    /// * when both sides have converged, the interior marker heights are
+    ///   combined as count-weighted averages, the extremes as min/max,
+    ///   and the marker positions are reset to their desired values for
+    ///   the combined count. For same-distribution shards (the sharded
+    ///   simulator's case) the markers sit near the same quantiles, so
+    ///   the weighted average is a consistent estimator of the same
+    ///   quantile; it is *not* bit-equal to the sequential estimate.
+    ///
+    /// The merge is deterministic: the result depends only on the two
+    /// states, never on timing.
+    ///
+    /// # Panics
+    /// Panics if the two estimators target different quantiles.
+    pub fn merge(&mut self, other: &P2Quantile) {
+        assert!(
+            (self.p - other.p).abs() < 1e-12,
+            "cannot merge P2 estimators for different quantiles ({} vs {})",
+            self.p,
+            other.p
+        );
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        if other.n < 5 {
+            // `other` still holds raw samples: replay them (exact).
+            for &x in &other.q[..other.n as usize] {
+                self.push(x);
+            }
+            return;
+        }
+        if self.n < 5 {
+            // Symmetric case: replay our raw samples into the converged
+            // side, then adopt it.
+            let mut merged = *other;
+            for &x in &self.q[..self.n as usize] {
+                merged.push(x);
+            }
+            *self = merged;
+            return;
+        }
+        // Both converged: count-weighted marker combine (approximate).
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let total = n1 + n2;
+        for i in 1..4 {
+            self.q[i] = (self.q[i] * n1 + other.q[i] * n2) / total;
+        }
+        self.q[0] = self.q[0].min(other.q[0]);
+        self.q[4] = self.q[4].max(other.q[4]);
+        self.n += other.n;
+        // Reset positions to the desired values for the combined count so
+        // subsequent pushes adjust from a consistent state.
+        let nm1 = (self.n - 1) as f64;
+        let dn = [0.0, self.p / 2.0, self.p, (1.0 + self.p) / 2.0, 1.0];
+        for i in 0..5 {
+            self.pos[i] = 1.0 + nm1 * dn[i];
+        }
+    }
+
     /// Smallest observation seen (marker 0), or `None` when empty.
     #[must_use]
     pub fn observed_min(&self) -> Option<f64> {

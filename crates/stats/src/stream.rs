@@ -117,6 +117,33 @@ impl StreamingStats {
         &self.hist
     }
 
+    /// Merges another collector into this one, deterministically, so
+    /// per-shard statistics fold into a single report.
+    ///
+    /// Exactness per component:
+    ///
+    /// * count, mean, variance, min, max — **exact** (parallel Welford
+    ///   combine, see [`Running::merge`]): the merged moments equal the
+    ///   sequential single-stream moments up to float associativity of
+    ///   the combine formula itself, independent of arrival order;
+    /// * histogram — **exact** (bin-wise addition over identical
+    ///   geometry);
+    /// * quantiles — **approximate** (count-weighted P² marker combine,
+    ///   see [`P2Quantile::merge`]); exact only while either side still
+    ///   holds < 5 raw samples.
+    ///
+    /// # Panics
+    /// Panics if the histograms have different geometry (different
+    /// `hist_lo`/`hist_hi`/`bins`).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        self.running.merge(&other.running);
+        self.p25.merge(&other.p25);
+        self.p50.merge(&other.p50);
+        self.p75.merge(&other.p75);
+        self.p95.merge(&other.p95);
+        self.hist.merge(&other.hist);
+    }
+
     /// A [`Summary`] assembled from the streaming state: exact
     /// count/mean/std-dev/min/max, P²-estimated quartiles and p95 (exact
     /// below five samples). `None` when empty.

@@ -1,7 +1,7 @@
 //! Property-based tests for the statistics substrate.
 
 use proptest::prelude::*;
-use verus_stats::{jain_index, quantile, Ewma, Running, Summary};
+use verus_stats::{jain_index, quantile, Ewma, P2Quantile, Running, StreamingStats, Summary};
 
 proptest! {
     /// EWMA output always lies between the previous value and the sample.
@@ -87,5 +87,102 @@ proptest! {
         prop_assert!(s.p75 <= s.p95 + 1e-9);
         prop_assert!(s.p95 <= s.max + 1e-9);
         prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+    }
+
+    /// Shard-merged streaming stats equal the sequential single-stream
+    /// collector: count, min, max and every histogram bucket exactly
+    /// (integer/order comparisons), mean and variance up to the float
+    /// associativity of the parallel-Welford combine.
+    #[test]
+    fn streaming_merge_matches_sequential(
+        xs in proptest::collection::vec(0.0f64..4000.0, 1..256),
+        split in 0usize..256
+    ) {
+        let split = split.min(xs.len());
+        let whole = StreamingStats::from_samples(&xs);
+        let mut a = StreamingStats::from_samples(&xs[..split]);
+        let b = StreamingStats::from_samples(&xs[split..]);
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert_eq!(a.min(), whole.min());
+        prop_assert_eq!(a.max(), whole.max());
+        let scale = whole.mean().abs() + 1.0;
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * scale);
+        prop_assert!((a.std_dev() - whole.std_dev()).abs() < 1e-6 * scale);
+        // Histogram merge is exact: identical totals, bucket by bucket.
+        prop_assert_eq!(a.histogram().counts(), whole.histogram().counts());
+        prop_assert_eq!(a.histogram().total(), whole.histogram().total());
+        prop_assert_eq!(a.histogram().out_of_range(), whole.histogram().out_of_range());
+    }
+
+    /// While the combined sample count is at most five, both P² sides
+    /// still hold raw samples, so the merge is exact — bit-equal to the
+    /// sequential estimator fed the concatenated stream.
+    #[test]
+    fn p2_merge_exact_below_five(
+        xs in proptest::collection::vec(0.0f64..1000.0, 1..6),
+        split in 0usize..6,
+        p in 0.05f64..0.95
+    ) {
+        let split = split.min(xs.len());
+        let mut whole = P2Quantile::new(p);
+        for &x in &xs { whole.push(x); }
+        let mut a = P2Quantile::new(p);
+        for &x in &xs[..split] { a.push(x); }
+        let mut b = P2Quantile::new(p);
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert_eq!(a.estimate(), whole.estimate());
+    }
+
+    /// The approximate P² marker combine stays a consistent estimator:
+    /// merged shards of one distribution land near the exact quantile,
+    /// and the observed extremes merge exactly.
+    #[test]
+    fn p2_merge_tracks_exact_quantile(
+        seed in 0u64..1000,
+        n in 200usize..2000,
+        split_frac in 0.1f64..0.9
+    ) {
+        // Deterministic LCG uniform stream over [0, 100).
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut xs = Vec::with_capacity(n);
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            xs.push((state >> 11) as f64 / (1u64 << 53) as f64 * 100.0);
+        }
+        let split = ((n as f64) * split_frac) as usize;
+        let mut a = P2Quantile::new(0.5);
+        for &x in &xs[..split] { a.push(x); }
+        let mut b = P2Quantile::new(0.5);
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        let exact = quantile(&xs, 0.5).unwrap();
+        let est = a.estimate().unwrap();
+        prop_assert!((est - exact).abs() < 10.0, "p50 merge {est} vs exact {exact}");
+        let mn = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mx = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(a.observed_min(), Some(mn));
+        prop_assert_eq!(a.observed_max(), Some(mx));
+        prop_assert_eq!(a.count(), n as u64);
+    }
+
+    /// Merging with an empty collector is the identity in both directions.
+    #[test]
+    fn streaming_merge_empty_is_identity(
+        xs in proptest::collection::vec(0.0f64..4000.0, 1..64)
+    ) {
+        let whole = StreamingStats::from_samples(&xs);
+        let mut a = StreamingStats::from_samples(&xs);
+        a.merge(&StreamingStats::for_delays_ms());
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert_eq!(a.mean(), whole.mean());
+        prop_assert_eq!(a.quantile(0.5), whole.quantile(0.5));
+        let mut e = StreamingStats::for_delays_ms();
+        e.merge(&whole);
+        prop_assert_eq!(e.count(), whole.count());
+        prop_assert_eq!(e.mean(), whole.mean());
+        prop_assert_eq!(e.quantile(0.5), whole.quantile(0.5));
     }
 }

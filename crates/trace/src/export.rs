@@ -40,6 +40,22 @@ pub const SCHEMA: &str = "verus-trace-v0";
 
 // ------------------------------------------------------------- formatting
 
+/// Emission order for one record stream: indices stably sorted by
+/// `(t_ns, lane)`. When nothing in the stream is tagged (every lane is
+/// [`crate::lane::NONE`]) the sort key is constant per timestamp and
+/// the stable sort is the identity — untagged traces keep their exact
+/// arrival-order bytes. Tagged traces get the canonical cross-engine
+/// order: the sequential engine dispatches flows' events interleaved
+/// while the sharded engine batches per worker, so only
+/// `(t_ns, lane, arrival)` is an order both produce identically.
+fn stream_order(times: &[u64], lanes: &[u32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..times.len()).collect();
+    if lanes.len() == times.len() && lanes.iter().any(|&l| l != crate::lane::NONE) {
+        idx.sort_by_key(|&i| (times[i], lanes[i]));
+    }
+    idx
+}
+
 /// A finite float as JSON, `null` otherwise (a NaN would corrupt the
 /// whole line for jq consumers).
 fn json_f64(v: f64) -> String {
@@ -145,20 +161,36 @@ pub fn to_jsonl(rec: &Recorder, substrate: &str, clock: &str) -> String {
         json_str(substrate),
         json_str(clock)
     );
-    for r in rec.epochs() {
-        out.push_str(&epoch_line(r));
+    let epochs = rec.epochs();
+    for i in stream_order(
+        &epochs.iter().map(|r| r.t_ns).collect::<Vec<_>>(),
+        rec.epoch_lanes(),
+    ) {
+        out.push_str(&epoch_line(&epochs[i]));
         out.push('\n');
     }
-    for r in rec.packets() {
-        out.push_str(&packet_line(r));
+    let packets = rec.packets();
+    for i in stream_order(
+        &packets.iter().map(|r| r.t_ns).collect::<Vec<_>>(),
+        rec.packet_lanes(),
+    ) {
+        out.push_str(&packet_line(&packets[i]));
         out.push('\n');
     }
-    for s in rec.profiles() {
-        out.push_str(&profile_line(s));
+    let profiles = rec.profiles();
+    for i in stream_order(
+        &profiles.iter().map(|s| s.t_ns).collect::<Vec<_>>(),
+        rec.profile_lanes(),
+    ) {
+        out.push_str(&profile_line(&profiles[i]));
         out.push('\n');
     }
-    for s in rec.sessions() {
-        out.push_str(&session_line(s));
+    let sessions = rec.sessions();
+    for i in stream_order(
+        &sessions.iter().map(|s| s.t_ns).collect::<Vec<_>>(),
+        rec.session_lanes(),
+    ) {
+        out.push_str(&session_line(&sessions[i]));
         out.push('\n');
     }
     let d = rec.dropped();
@@ -833,6 +865,38 @@ mod tests {
         assert_eq!(p.lines().count(), 3);
         let pr = profiles_csv(rec.profiles());
         assert_eq!(pr.lines().count(), 3, "one row per curve sample");
+    }
+
+    #[test]
+    fn tagged_streams_sort_by_time_then_lane_and_untagged_keep_arrival_order() {
+        let pkt = |t_ns, seq| PacketRecord {
+            t_ns,
+            kind: PacketKind::Send,
+            seq,
+            bytes: 1,
+            window: 1.0,
+            rtt_ms: None,
+        };
+        // Untagged: arrival order survives even when timestamps tie.
+        crate::lane::clear();
+        let mut plain = Recorder::with_capacity(1, 8, 1);
+        plain.on_packet(&pkt(10, 2));
+        plain.on_packet(&pkt(10, 1));
+        let text = to_jsonl(&plain, "netsim", "sim");
+        let parsed = parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed.packets[0].seq, 2, "untagged export is arrival order");
+        // Tagged: lane breaks the timestamp tie regardless of arrival.
+        let mut tagged = Recorder::with_capacity(1, 8, 1);
+        crate::lane::set(1);
+        tagged.on_packet(&pkt(10, 2));
+        tagged.on_packet(&pkt(20, 3));
+        crate::lane::set(0);
+        tagged.on_packet(&pkt(10, 1));
+        crate::lane::clear();
+        let text = to_jsonl(&tagged, "netsim", "sim");
+        let parsed = parse_jsonl(&text).expect("parse");
+        let seqs: Vec<u64> = parsed.packets.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, [1, 2, 3], "t_ns first, lane breaks the t=10 tie");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod lane;
 pub mod recorder;
 pub mod schema;
 pub mod sink;

@@ -49,6 +49,14 @@ pub struct Recorder {
     packets: Vec<PacketRecord>,
     profiles: Vec<ProfileSnapshot>,
     sessions: Vec<SessionRecord>,
+    // Parallel lane columns (see [`crate::lane`]): `*_lanes[i]` is the
+    // flow tag the thread carried when record `i` arrived. Kept outside
+    // the record structs so the wire schema and every existing consumer
+    // are untouched; the JSONL exporter uses them only as a sort key.
+    epoch_lanes: Vec<u32>,
+    packet_lanes: Vec<u32>,
+    profile_lanes: Vec<u32>,
+    session_lanes: Vec<u32>,
     dropped: DropCounts,
     /// Substrate summary counters (ledger totals, emulator forwarded/
     /// dropped, …) exported into the trace summary record.
@@ -88,6 +96,10 @@ impl Recorder {
             packets: Vec::with_capacity(packets),
             profiles: Vec::with_capacity(profiles),
             sessions: Vec::with_capacity(Self::DEFAULT_SESSIONS),
+            epoch_lanes: Vec::with_capacity(epochs),
+            packet_lanes: Vec::with_capacity(packets),
+            profile_lanes: Vec::with_capacity(profiles),
+            session_lanes: Vec::with_capacity(Self::DEFAULT_SESSIONS),
             dropped: DropCounts::default(),
             counters: BTreeMap::new(),
         }
@@ -98,6 +110,7 @@ impl Recorder {
     #[must_use]
     pub fn with_session_capacity(mut self, sessions: usize) -> Self {
         self.sessions = Vec::with_capacity(sessions);
+        self.session_lanes = Vec::with_capacity(sessions);
         self
     }
 
@@ -134,6 +147,30 @@ impl Recorder {
         &self.sessions
     }
 
+    /// Lane tags parallel to [`Self::epochs`] (see [`crate::lane`]).
+    #[must_use]
+    pub fn epoch_lanes(&self) -> &[u32] {
+        &self.epoch_lanes
+    }
+
+    /// Lane tags parallel to [`Self::packets`].
+    #[must_use]
+    pub fn packet_lanes(&self) -> &[u32] {
+        &self.packet_lanes
+    }
+
+    /// Lane tags parallel to [`Self::profiles`].
+    #[must_use]
+    pub fn profile_lanes(&self) -> &[u32] {
+        &self.profile_lanes
+    }
+
+    /// Lane tags parallel to [`Self::sessions`].
+    #[must_use]
+    pub fn session_lanes(&self) -> &[u32] {
+        &self.session_lanes
+    }
+
     /// Drop counters.
     #[must_use]
     pub fn dropped(&self) -> DropCounts {
@@ -163,6 +200,10 @@ impl Recorder {
         self.packets.clear();
         self.profiles.clear();
         self.sessions.clear();
+        self.epoch_lanes.clear();
+        self.packet_lanes.clear();
+        self.profile_lanes.clear();
+        self.session_lanes.clear();
         self.dropped = DropCounts::default();
         self.counters.clear();
     }
@@ -179,6 +220,7 @@ impl TraceSink for Recorder {
     fn on_epoch(&mut self, rec: &EpochRecord) {
         if self.epochs.len() < self.epochs.capacity() {
             self.epochs.push(*rec);
+            self.epoch_lanes.push(crate::lane::current());
         } else {
             self.dropped.epochs += 1;
         }
@@ -188,6 +230,7 @@ impl TraceSink for Recorder {
     fn on_packet(&mut self, rec: &PacketRecord) {
         if self.packets.len() < self.packets.capacity() {
             self.packets.push(*rec);
+            self.packet_lanes.push(crate::lane::current());
         } else {
             self.dropped.packets += 1;
         }
@@ -196,6 +239,7 @@ impl TraceSink for Recorder {
     fn on_profile(&mut self, snap: &ProfileSnapshot) {
         if self.profiles.len() < self.profiles.capacity() {
             self.profiles.push(snap.clone());
+            self.profile_lanes.push(crate::lane::current());
         } else {
             self.dropped.profiles += 1;
         }
@@ -204,15 +248,21 @@ impl TraceSink for Recorder {
     fn on_session(&mut self, rec: &SessionRecord) {
         if self.sessions.len() < self.sessions.capacity() {
             self.sessions.push(*rec);
+            self.session_lanes.push(crate::lane::current());
         } else {
             self.dropped.sessions += 1;
         }
     }
 
+    // The bulk paths arrive from one handle's staging buffer, and a
+    // handle belongs to one instrumented controller — every staged
+    // record shares the flushing thread's current lane.
     fn on_epochs(&mut self, recs: &[EpochRecord]) {
         let free = self.epochs.capacity() - self.epochs.len();
         let take = recs.len().min(free);
         self.epochs.extend_from_slice(&recs[..take]);
+        self.epoch_lanes
+            .resize(self.epochs.len(), crate::lane::current());
         self.dropped.epochs += (recs.len() - take) as u64;
     }
 
@@ -220,6 +270,8 @@ impl TraceSink for Recorder {
         let free = self.packets.capacity() - self.packets.len();
         let take = recs.len().min(free);
         self.packets.extend_from_slice(&recs[..take]);
+        self.packet_lanes
+            .resize(self.packets.len(), crate::lane::current());
         self.dropped.packets += (recs.len() - take) as u64;
     }
 }

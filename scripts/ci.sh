@@ -59,30 +59,47 @@ rm -f "$bench_out"
 cargo run --release -q -p verus-bench --bin bench_scale \
   --features verus-netsim/strict-invariants -- --smoke
 
-# Scale regression guard: re-run the crowd sweep and compare N=100
-# events/s against the committed BENCH_2.json (a reviewed artifact,
-# like BENCH_1). The committed record is validated structurally — v2
-# schema, the ≥5× scheduler-pop acceptance figure, positive medians —
-# and the fresh run must hold ≥ 80% of the committed N=100 throughput:
-# a >20% drop on the same box is a real event-core regression, not
-# rep-to-rep noise (figures are medians of 5).
-scale_out="$(mktemp /tmp/bench_scale.XXXXXX.json)"
-VERUS_BENCH_OUT="$scale_out" cargo run --release -q -p verus-bench --bin bench_scale
+# Shard smoke: the sharded engine's byte-identity contract, live on one
+# seed — a short 100-flow crowd at W ∈ {1, 2, 4} must produce identical
+# report digests and event/pop totals (the binary asserts and exits
+# non-zero on divergence). The full N∈{100..100k} sweep behind the
+# committed BENCH_3.json takes tens of minutes and is a reviewed
+# artifact, updated deliberately — CI validates it structurally instead:
+# v3 schema, the exact sweep shape, byte-identity recorded at every N,
+# and the RTO re-arm coalescing fix actually reflected in the pop
+# counts (fewer scheduler pops *per logical event* at N=100 than the
+# pre-fix BENCH_2.json recorded — raw totals aren't comparable because
+# the canonical tie order changed trajectories, see the record's
+# comparison note). The W=4 wall-speedup assertion (≥ 2× vs W=1 at N ≥ 10k)
+# only applies when the committed record was measured on ≥ 4 cores —
+# sharded wall-clock gains need the cores to exist, and a single-core
+# record honestly says so in its `cores` field.
+cargo run --release -q -p verus-bench --bin bench_scale -- --shard-smoke
 jq -e '
-  .schema == "verus-bench-scale-v2"
-  and (.reps >= 5)
-  and ([.sweep[].flows] == [1, 10, 50, 100, 250])
-  and ([.sweep[] | select(.events_per_sec <= 0 or .events <= 0 or .sched_pops <= 0)] == [])
-  and (.n100_pop_reduction_vs_naive >= 5)
-  and (.n100_wall_speedup_vs_naive > 1) and (.n100_eps_speedup_vs_naive > 1)
-' BENCH_2.json > /dev/null || { echo "committed BENCH_2.json malformed or below acceptance"; exit 1; }
-jq -e --slurpfile committed BENCH_2.json '
-  def n100: .sweep[] | select(.flows == 100) | .events_per_sec;
-  (n100) >= 0.8 * ($committed[0] | n100)
-' "$scale_out" > /dev/null \
-  || { echo "N=100 crowd events/s regressed >20% vs committed BENCH_2.json:"; \
-       jq '.sweep[] | select(.flows == 100)' "$scale_out" BENCH_2.json; exit 1; }
-rm -f "$scale_out"
+  .schema == "verus-bench-scale-v3"
+  and ([.sweep[].flows] == [100, 1000, 10000, 100000])
+  and ([.sweep[] | select(.byte_identical_across_w | not)] == [])
+  and ([.sweep[] | select(.events <= 0 or .sched_pops <= 0)] == [])
+  and ([.sweep[].per_worker[] | select(.wall_secs <= 0 or .events_per_sec <= 0)] == [])
+  and ([.sweep[].per_worker[].workers] == [1, 2, 4, 1, 2, 4, 1, 2, 4, 1, 2, 4])
+  and (.rto_coalescing.after_n100.pops_per_event < .rto_coalescing.before_bench2_n100.pops_per_event)
+' BENCH_3.json > /dev/null || { echo "committed BENCH_3.json malformed or below acceptance"; exit 1; }
+jq -e '
+  if .cores >= 4 then
+    [.sweep[] | select(.flows >= 10000)
+      | (.per_worker[] | select(.workers == 1) | .wall_secs) as $w1
+      | (.per_worker[] | select(.workers == 4) | .wall_secs) as $w4
+      | select($w1 < 2 * $w4)] == []
+  else true end
+' BENCH_3.json > /dev/null \
+  || { echo "BENCH_3.json: W=4 wall speedup below 2x vs W=1 at N>=10k on a >=4-core record"; \
+       jq '{cores, sweep: [.sweep[] | select(.flows >= 10000)]}' BENCH_3.json; exit 1; }
+
+# Scheduler equivalence under the alternate feature build: tier-1 runs
+# the suite on the default wheel build; this repeats it with the
+# BinaryHeap oracle as the build default so the sharded engine's
+# byte-identity holds under both feature builds.
+cargo test --release -q -p verus-netsim --test sched_equivalence --features heap-sched
 
 # Chaos smoke: the seeded chaos soak on both substrates with the
 # recovery SLOs armed (the binary itself asserts them and exits
@@ -142,6 +159,7 @@ rm -rf "$trace_out"
 cargo test -q -p verus-model
 cargo test -q -p verus-transport --test loom_models
 cargo test -q -p verus-bench --test loom_models
+cargo test -q -p verus-netsim --test loom_models
 
 # Miri (undefined-behaviour interpreter) over the std-only crates. The
 # simulator crates forbid unsafe outright, so the std-only leaf crates
