@@ -1,7 +1,7 @@
 //! Cross-protocol conformance tests: every controller must uphold the
 //! transport's assumptions regardless of event ordering.
 
-use crate::{Cubic, NewReno, Sprout, Vegas};
+use crate::{AbcCc, C2Tcp, Cubic, NewReno, Sprout, Vegas};
 use verus_nettypes::{
     AckEvent, CongestionControl, LossEvent, LossKind, SimDuration, SimTime,
 };
@@ -12,7 +12,29 @@ fn controllers() -> Vec<Box<dyn CongestionControl>> {
         Box::new(Cubic::new()),
         Box::new(Vegas::new()),
         Box::new(Sprout::default()),
+        Box::new(C2Tcp::default()),
+        Box::new(AbcCc::new()),
     ]
+}
+
+/// The omniscient controller rides the same trait but deliberately does
+/// not react to losses (it already knows the channel), so it joins the
+/// storm/no-NaN/quota-bound suites and is excluded from
+/// `all_controllers_reduce_on_timeout`.
+fn oracle() -> Box<dyn CongestionControl> {
+    let trace = verus_cellular::Trace::from_times(
+        "conformance",
+        (1..=50u64).map(|i| SimTime::from_micros(i * 10_000)),
+        1400,
+    )
+    .expect("valid trace");
+    Box::new(verus_oracle::OracleCc::new(verus_oracle::SchedulePlan::build(
+        &trace,
+        SimDuration::from_secs(5),
+        1400,
+        &[],
+        verus_oracle::SchedulePlan::DEFAULT_LEAD,
+    )))
 }
 
 /// Drive a controller through a pseudo-random but deterministic storm of
@@ -31,6 +53,13 @@ fn storm(cc: &mut dyn CongestionControl, seed: u64) {
         match next() % 10 {
             0..=4 => {
                 let rtt = SimDuration::from_millis(10 + next() % 300);
+                // A third of ACKs carry each ABC mark state: non-ABC
+                // controllers must ignore them, ABC must stay bounded.
+                let abc_mark = match next() % 3 {
+                    0 => None,
+                    1 => Some(true),
+                    _ => Some(false),
+                };
                 cc.on_ack(
                     now,
                     &AckEvent {
@@ -39,6 +68,7 @@ fn storm(cc: &mut dyn CongestionControl, seed: u64) {
                         rtt,
                         delay: rtt / 2,
                         send_window: (next() % 100) as f64,
+                        abc_mark,
                     },
                 );
             }
@@ -84,6 +114,25 @@ fn all_controllers_survive_event_storms() {
 }
 
 #[test]
+fn oracle_survives_event_storms() {
+    let mut cc = oracle();
+    for seed in 1..=5 {
+        storm(cc.as_mut(), seed);
+    }
+}
+
+#[test]
+fn oracle_quota_is_bounded_by_its_plan() {
+    let mut cc = oracle();
+    // Far past the horizon, with nothing sent yet, quota is the whole
+    // plan — finite and stable.
+    let q = cc.quota(SimTime::from_secs(100), 0);
+    assert!(q < 1_000_000);
+    let w = cc.window();
+    assert!(w.is_finite() && w >= 0.0);
+}
+
+#[test]
 fn all_controllers_reduce_on_timeout() {
     for mut cc in controllers() {
         // Grow the window first.
@@ -98,6 +147,7 @@ fn all_controllers_reduce_on_timeout() {
                     rtt: SimDuration::from_millis(40),
                     delay: SimDuration::from_millis(20),
                     send_window: 10.0,
+                    abc_mark: None,
                 },
             );
             if cc.tick_interval().is_some() && s % 40 == 0 {
@@ -141,5 +191,8 @@ fn quota_never_exceeds_window_for_window_based_controllers() {
 #[test]
 fn names_are_unique_and_stable() {
     let names: Vec<&str> = controllers().iter().map(|c| c.name()).collect();
-    assert_eq!(names, vec!["newreno", "cubic", "vegas", "sprout"]);
+    assert_eq!(
+        names,
+        vec!["newreno", "cubic", "vegas", "sprout", "c2tcp", "abc"]
+    );
 }

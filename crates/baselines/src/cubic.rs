@@ -190,6 +190,7 @@ mod tests {
             rtt: SimDuration::from_millis(rtt_ms),
             delay: SimDuration::from_millis(rtt_ms / 2),
             send_window: 10.0,
+            abc_mark: None,
         }
     }
 

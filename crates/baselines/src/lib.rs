@@ -19,15 +19,28 @@
 //! * [`sprout`] — Winstein, Sivaraman & Balakrishnan's stochastic-forecast
 //!   control (the "sendonly" variant the paper compares against, including
 //!   its 18 Mbit/s implementation cap that Figure 11a hinges on).
+//!
+//! The tournament subsystem adds the delay-centric successors PAPERS.md
+//! names (protocols that post-date the paper but define the modern
+//! comparison plane):
+//!
+//! * [`c2tcp`] — Abbasloo et al.'s target-delay governor over an AIMD
+//!   carrier (CoDel-style √-cadence window cuts);
+//! * [`abc`] — Goyal et al.'s explicit accelerate/brake sender, driven
+//!   by the router marks `verus-netsim` stamps when a run opts in.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod abc;
+pub mod c2tcp;
 pub mod cubic;
 pub mod newreno;
 pub mod sprout;
 pub mod vegas;
 
+pub use abc::AbcCc;
+pub use c2tcp::C2Tcp;
 pub use cubic::Cubic;
 pub use newreno::NewReno;
 pub use sprout::Sprout;

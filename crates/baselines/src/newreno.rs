@@ -146,6 +146,7 @@ mod tests {
             rtt: SimDuration::from_millis(50),
             delay: SimDuration::from_millis(25),
             send_window: 10.0,
+            abc_mark: None,
         }
     }
 

@@ -417,6 +417,7 @@ mod tests {
                 rtt: SimDuration::from_millis(40),
                 delay: SimDuration::from_millis(20),
                 send_window: 10.0,
+                abc_mark: None,
             }
         }
 
@@ -523,6 +524,7 @@ mod tests {
                             rtt: SimDuration::from_millis(40),
                             delay: SimDuration::from_millis(20),
                             send_window: cc.window(),
+                            abc_mark: None,
                         },
                     );
                 } else {

@@ -169,6 +169,7 @@ mod tests {
             rtt: SimDuration::from_millis(ms),
             delay: SimDuration::from_millis(ms / 2),
             send_window: 4.0,
+            abc_mark: None,
         }
     }
 

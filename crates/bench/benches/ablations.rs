@@ -35,6 +35,7 @@ fn run_variant(config: VerusConfig, secs: u64) -> (f64, f64) {
         seed: 4243,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     };
     let r = Simulation::new(sim).unwrap().run().remove(0);
     (r.mean_throughput_mbps(), r.mean_delay_ms())

@@ -74,6 +74,7 @@ fn bench_verus_events(c: &mut Criterion) {
                     rtt: SimDuration::from_millis_f64(20.0 + w),
                     delay: SimDuration::from_millis_f64(10.0 + w / 2.0),
                     send_window: w,
+                    abc_mark: None,
                 },
             );
             now += SimDuration::from_millis(1);
@@ -96,6 +97,7 @@ fn bench_verus_events(c: &mut Criterion) {
                             rtt: SimDuration::from_millis(60),
                             delay: SimDuration::from_millis(30),
                             send_window: cc.window(),
+                            abc_mark: None,
                         },
                     );
                 }
@@ -136,6 +138,7 @@ fn bench_sprout_tick(c: &mut Criterion) {
                                 rtt: SimDuration::from_millis(40),
                                 delay: SimDuration::from_millis(20),
                                 send_window: 10.0,
+                                abc_mark: None,
                             },
                         );
                     }

@@ -220,6 +220,7 @@ fn bench_epochs() -> f64 {
                 rtt: SimDuration::from_millis_f64(20.0 + w),
                 delay: SimDuration::from_millis_f64(10.0 + w / 2.0),
                 send_window: w,
+                abc_mark: None,
             },
         );
         now += SimDuration::from_millis(1);
@@ -259,6 +260,7 @@ fn bench_simulator(trace_handle: TraceHandle) -> (u64, f64) {
         seed: 7,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     };
     let sim = Simulation::new(config)
         .expect("valid config")

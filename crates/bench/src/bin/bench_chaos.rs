@@ -76,12 +76,24 @@ fn schedule(start_s: u64, outage_ms: u64, gap_ms: u64, repeats: u64) -> ChaosSch
             gap: SimDuration::from_millis(gap_ms),
             repeats,
         })
-        .with(ChaosScript::LossSpikeTrain {
-            p_enter: 0.02,
-            p_exit: 0.5,
-            base_loss: 0.0,
-            spike_loss: 1.0,
-        })
+        .with(spikes())
+}
+
+/// Full mode runs the shared `BlackoutRecovery` stress scenario — the
+/// same named outage train `bench_tournament` scores protocols on —
+/// with the soak's loss spikes riding along.
+fn full_sim_schedule() -> ChaosSchedule {
+    ChaosSchedule::for_stress(&verus_cellular::StressScenario::BlackoutRecovery, SEED)
+        .with(spikes())
+}
+
+fn spikes() -> ChaosScript {
+    ChaosScript::LossSpikeTrain {
+        p_enter: 0.02,
+        p_exit: 0.5,
+        base_loss: 0.0,
+        spike_loss: 1.0,
+    }
 }
 
 struct SimOutcome {
@@ -115,6 +127,7 @@ fn sim_soak(sched: &ChaosSchedule, duration: SimDuration) -> SimOutcome {
         seed: SEED,
         throughput_window: SimDuration::from_millis(100),
         impairments,
+        abc: None,
     };
     let reports = Simulation::new(config).expect("valid config").run();
     let r = &reports[0];
@@ -224,7 +237,7 @@ fn main() {
         )
     } else {
         (
-            schedule(5, 2000, 4000, 3),
+            full_sim_schedule(),
             SimDuration::from_secs(30),
             schedule(4, 2000, 6000, 3),
             Duration::from_secs(30),

@@ -101,6 +101,7 @@ fn crowd_config(n: usize, duration: SimDuration) -> SimConfig {
         seed: SEED,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     }
 }
 

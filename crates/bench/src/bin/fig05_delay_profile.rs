@@ -40,6 +40,7 @@ fn main() {
         seed: 501,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     };
 
     let mut snapshot = Fig5::default();

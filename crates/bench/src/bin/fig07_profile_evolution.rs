@@ -51,6 +51,7 @@ fn main() {
         seed: 701,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     };
 
     let mut snapshots: Vec<Snapshot> = Vec::new();

@@ -79,6 +79,7 @@ fn run_protocol(name: &str, sched: &[(SimTime, FixedParams)], seed: u64) -> Prot
         seed,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     };
     let r = Simulation::new(config).unwrap().run().remove(0);
     ProtocolRun {

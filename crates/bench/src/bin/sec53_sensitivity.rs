@@ -40,6 +40,7 @@ fn run_config(config: VerusConfig, seed: u64) -> (f64, f64) {
         seed,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     };
     let r = Simulation::new(sim).unwrap().run().remove(0);
     (r.mean_throughput_mbps(), r.mean_delay_ms())

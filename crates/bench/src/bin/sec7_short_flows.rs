@@ -50,6 +50,7 @@ fn main() {
                 seed: 2801 + size_kb,
                 throughput_window: SimDuration::from_secs(1),
                 impairments: Default::default(),
+                abc: None,
             };
             let report = Simulation::new(config).unwrap().run().remove(0);
             row.push(match report.completion_secs {

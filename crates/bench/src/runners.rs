@@ -7,7 +7,7 @@
 //! * [`dumbbell_experiment`] — §7's setup: flows (possibly mixed
 //!   protocols, staggered starts, per-flow RTTs) over a fixed link.
 
-use verus_baselines::{Cubic, NewReno, Sprout, Vegas};
+use verus_baselines::{AbcCc, C2Tcp, Cubic, NewReno, Sprout, Vegas};
 use verus_cellular::Trace;
 use verus_core::{VerusCc, VerusConfig};
 use verus_netsim::queue::QueueConfig;
@@ -70,6 +70,8 @@ pub fn cc_by_name(name: &str, r: f64) -> Box<dyn CongestionControl> {
         "newreno" => Box::new(NewReno::new()),
         "vegas" => Box::new(Vegas::new()),
         "sprout" => Box::new(Sprout::default()),
+        "c2tcp" => Box::new(C2Tcp::default()),
+        "abc" => Box::new(AbcCc::new()),
         other => panic!("unknown protocol {other:?}"),
     }
 }
@@ -127,6 +129,7 @@ impl CellExperiment {
             seed: self.seed,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         Simulation::new(config).expect("valid config").run()
     }
@@ -161,6 +164,7 @@ impl CellExperiment {
             seed: self.seed,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         let reports = Simulation::new(config).expect("valid config").run();
         drop(handle);
@@ -229,6 +233,7 @@ impl DumbbellExperiment {
             seed: self.seed,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         Simulation::new(config).expect("valid config").run()
     }
@@ -247,7 +252,7 @@ mod tests {
 
     #[test]
     fn cc_by_name_builds_all_protocols() {
-        for name in ["verus", "cubic", "newreno", "vegas", "sprout"] {
+        for name in ["verus", "cubic", "newreno", "vegas", "sprout", "c2tcp", "abc"] {
             let cc = cc_by_name(name, 2.0);
             assert_eq!(cc.name(), name);
         }

@@ -43,5 +43,5 @@ pub mod scenarios;
 pub mod scheduler;
 pub mod trace;
 
-pub use scenarios::{OperatorModel, Scenario};
+pub use scenarios::{OperatorModel, OutageTrain, Scenario, StressScenario};
 pub use trace::Trace;

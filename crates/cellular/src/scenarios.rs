@@ -17,7 +17,7 @@ use crate::trace::{Trace, TraceError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use verus_nettypes::SimDuration;
+use verus_nettypes::{SimDuration, SimTime};
 
 /// Operator/technology models from the §3 measurements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -227,6 +227,199 @@ impl Scenario {
     }
 }
 
+/// An outage train: `repeats` link-dead windows of `outage`, separated
+/// by `gap` of live link, starting at `start`.
+///
+/// Plain data on purpose: the cellular crate describes *what* the
+/// channel does, and the simulator's chaos layer (which this crate
+/// cannot depend on) compiles the same numbers into impairment
+/// windows. Keeping the parameters here — single-sourced — is what
+/// lets the tournament bench and the chaos soak impair the link
+/// identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageTrain {
+    /// First outage onset.
+    pub start: SimTime,
+    /// Length of each outage.
+    pub outage: SimDuration,
+    /// Live time between consecutive outages.
+    pub gap: SimDuration,
+    /// Number of outages.
+    pub repeats: u64,
+}
+
+impl OutageTrain {
+    /// The `(start, end)` window of each outage, in order — the shape
+    /// the omniscient planner consumes.
+    #[must_use]
+    pub fn windows(&self) -> Vec<(SimTime, SimTime)> {
+        (0..self.repeats)
+            .map(|i| {
+                let s = self.start + (self.outage + self.gap) * i;
+                (s, s + self.outage)
+            })
+            .collect()
+    }
+}
+
+/// Stress scenarios beyond the paper's seven: the conditions the
+/// successor literature (PAPERS.md) shows break delay-sensitive
+/// controllers. Each is a *named parameter set* shared by the
+/// tournament bench and the chaos soak so both harnesses exercise the
+/// identical channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StressScenario {
+    /// Periodic sub-second handover gaps with mild reordering while
+    /// driving: the inter-cell mobility pattern.
+    HandoverStorm,
+    /// A deep-buffered cell shared by many saturating users — the
+    /// bufferbloat regime Sprout/C2TCP target.
+    DeepBufferMultiUser,
+    /// Multi-second total blackouts with full recovery gaps: the
+    /// paper's §6 outage experiment, repeated.
+    BlackoutRecovery,
+}
+
+impl StressScenario {
+    /// All three stress scenarios.
+    #[must_use]
+    pub fn all() -> [StressScenario; 3] {
+        [
+            Self::HandoverStorm,
+            Self::DeepBufferMultiUser,
+            Self::BlackoutRecovery,
+        ]
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::HandoverStorm => "Handover storm",
+            Self::DeepBufferMultiUser => "Deep-buffer multi-user",
+            Self::BlackoutRecovery => "Blackout recovery",
+        }
+    }
+
+    /// The outage train this scenario imposes on top of its capacity
+    /// trace, if any. The deep-buffer cell keeps the link up — its
+    /// stress is contention and standing queues, not outages.
+    #[must_use]
+    pub fn outage_train(&self) -> Option<OutageTrain> {
+        match self {
+            Self::HandoverStorm => Some(OutageTrain {
+                // 400 ms gap every 4 s: the §3-style inter-cell
+                // handover cadence of sustained driving.
+                start: SimTime::from_secs(2),
+                outage: SimDuration::from_millis(400),
+                gap: SimDuration::from_millis(3600),
+                repeats: 6,
+            }),
+            Self::DeepBufferMultiUser => None,
+            Self::BlackoutRecovery => Some(OutageTrain {
+                // The chaos soak's full-mode train: 2 s dead, 4 s to
+                // recover, three times, first onset at 5 s.
+                start: SimTime::from_secs(5),
+                outage: SimDuration::from_secs(2),
+                gap: SimDuration::from_secs(4),
+                repeats: 3,
+            }),
+        }
+    }
+
+    /// Probability a packet is reordered (handovers shuffle in-flight
+    /// packets between cells; the other scenarios deliver in order).
+    #[must_use]
+    pub fn reorder_prob(&self) -> f64 {
+        match self {
+            Self::HandoverStorm => 0.02,
+            _ => 0.0,
+        }
+    }
+
+    /// How many competing measured flows the scenario runs through the
+    /// bottleneck (the deep-buffer cell is defined by its crowd).
+    #[must_use]
+    pub fn flows(&self) -> usize {
+        match self {
+            Self::DeepBufferMultiUser => 8,
+            _ => 1,
+        }
+    }
+
+    /// The measured user's radio environment.
+    #[must_use]
+    pub fn fading(&self) -> FadingConfig {
+        match self {
+            // Sustained driving between cells: fast fading, big drift.
+            Self::HandoverStorm => FadingConfig {
+                fast_coherence: SimDuration::from_millis(3),
+                drift_rate_db_per_s: 3.0,
+                ..FadingConfig::driving()
+            },
+            // Indoors among a crowd: penetration loss + shadowing.
+            Self::DeepBufferMultiUser => FadingConfig {
+                mean_snr_db: 9.0,
+                shadow_sigma_db: 4.0,
+                ..FadingConfig::pedestrian()
+            },
+            // The link itself is clean — the stress is the outages.
+            Self::BlackoutRecovery => FadingConfig::stationary(),
+        }
+    }
+
+    /// Background users contending in the cell.
+    #[must_use]
+    pub fn background(&self) -> Vec<UserConfig> {
+        let cbr = |rate_bps: f64| UserConfig {
+            demand: Demand::Cbr { rate_bps },
+            fading: FadingConfig::stationary(),
+        };
+        let onoff = |rate_bps: f64, on_s: u64, off_s: u64| UserConfig {
+            demand: Demand::OnOff {
+                rate_bps,
+                on: SimDuration::from_secs(on_s),
+                off: SimDuration::from_secs(off_s),
+            },
+            fading: FadingConfig::pedestrian(),
+        };
+        match self {
+            Self::HandoverStorm => vec![cbr(0.5e6)],
+            // Heavier than the shopping mall: the cell is the stress.
+            Self::DeepBufferMultiUser => vec![
+                cbr(1.0e6),
+                cbr(0.8e6),
+                cbr(0.6e6),
+                onoff(2.0e6, 10, 10),
+                onoff(1.5e6, 15, 15),
+                onoff(1.0e6, 20, 10),
+            ],
+            Self::BlackoutRecovery => vec![cbr(0.5e6)],
+        }
+    }
+
+    /// Generates the capacity trace for this scenario (outages are NOT
+    /// baked into the trace — they are applied by the simulator's
+    /// impairment layer from [`Self::outage_train`], exactly as the
+    /// chaos soak does, so the same trace serves both harnesses).
+    pub fn generate_trace(
+        &self,
+        operator: OperatorModel,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Result<Trace, TraceError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        saturated_user_trace(
+            format!("{} / {}", operator.name(), self.name()),
+            operator.budget(),
+            self.fading(),
+            self.background(),
+            duration,
+            &mut rng,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,5 +510,57 @@ mod tests {
         for s in Scenario::evaluation_five() {
             assert!(all.contains(&s));
         }
+    }
+
+    #[test]
+    fn every_stress_scenario_generates_a_trace() {
+        for s in StressScenario::all() {
+            let t = s
+                .generate_trace(OperatorModel::Etisalat3G, FIVE_SECONDS, 42)
+                .unwrap();
+            assert!(t.mean_rate_bps() > 0.3e6, "{}: {}", s.name(), t.mean_rate_bps());
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn stress_traces_are_deterministic_per_seed() {
+        let a = StressScenario::HandoverStorm
+            .generate_trace(OperatorModel::DuLte, FIVE_SECONDS, 5)
+            .unwrap();
+        let b = StressScenario::HandoverStorm
+            .generate_trace(OperatorModel::DuLte, FIVE_SECONDS, 5)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn outage_trains_lay_out_disjoint_windows() {
+        for s in StressScenario::all() {
+            let Some(train) = s.outage_train() else {
+                continue;
+            };
+            let windows = train.windows();
+            assert_eq!(windows.len() as u64, train.repeats);
+            for pair in windows.windows(2) {
+                assert!(pair[1].0 > pair[0].1, "{}: overlap {windows:?}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn stress_parameters_match_their_stories() {
+        // Handovers reorder; nothing else does.
+        assert!(StressScenario::HandoverStorm.reorder_prob() > 0.0);
+        assert_eq!(StressScenario::BlackoutRecovery.reorder_prob(), 0.0);
+        // The deep-buffer cell is a crowd with the link up.
+        assert_eq!(StressScenario::DeepBufferMultiUser.flows(), 8);
+        assert!(StressScenario::DeepBufferMultiUser.outage_train().is_none());
+        // The blackout train is the chaos soak's full-mode script.
+        let t = StressScenario::BlackoutRecovery.outage_train().unwrap();
+        assert_eq!(t.start, SimTime::from_secs(5));
+        assert_eq!(t.outage, SimDuration::from_secs(2));
+        assert_eq!(t.gap, SimDuration::from_secs(4));
+        assert_eq!(t.repeats, 3);
     }
 }

@@ -49,6 +49,7 @@ pub use rules::{Matcher, Rule, Scope, Severity, RULESET, STALE_SUPPRESSION};
 /// wall clock. `transport` is the one crate allowed to touch real time.
 pub const DETERMINISTIC_CRATES: &[&str] = [
     "core", "netsim", "spline", "stats", "cellular", "nettypes", "baselines",
+    "oracle",
 ]
 .as_slice();
 

@@ -210,11 +210,15 @@ pub const RULESET: &[Rule] = &[
         // Clocks are *injected* in the algorithm and telemetry crates:
         // the controller receives `now` from whichever substrate drives
         // it, and `verus-trace` records carry caller-supplied
-        // timestamps. Reading an ambient clock there would fork sim-time
-        // and wall-time traces and break replay determinism. (`core` is
-        // also a deterministic crate, so a violation there additionally
-        // trips `no-wallclock`; `trace` is covered by this rule alone.)
-        scope: Scope::Crates(&["core", "trace"]),
+        // timestamps. `verus-oracle` is stricter still: its schedule is
+        // computed entirely from the trace, so an ambient clock there
+        // would make the "omniscient bound" depend on the machine that
+        // computed it. Reading an ambient clock in any of these would
+        // fork sim-time and wall-time traces and break replay
+        // determinism. (`core` and `oracle` are also deterministic
+        // crates, so a violation there additionally trips
+        // `no-wallclock`; `trace` is covered by this rule alone.)
+        scope: Scope::Crates(&["core", "trace", "oracle"]),
         targets: ALL_TARGETS,
         skip_cfg_test: false,
         exempt_files: &[],

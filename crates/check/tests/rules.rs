@@ -130,6 +130,47 @@ fn ambient_clock_suppression_works() {
     assert!(scan("crates/trace/src/export.rs", text).is_empty());
 }
 
+#[test]
+fn oracle_reading_the_wall_clock_fires_both_clock_rules() {
+    // A "bad oracle" that stamps its plan from the machine clock: the
+    // omniscient bound would differ per host. Oracle is both a
+    // deterministic crate and clock-injected, so the hit trips
+    // `no-wallclock` *and* `no-ambient-clock`.
+    let d = scan(
+        "crates/oracle/src/plan.rs",
+        "fn stamp() -> u64 { nanos(std::time::Instant::now()) }\n",
+    );
+    let mut r = rules(&d);
+    r.sort_unstable();
+    assert_eq!(r, ["no-ambient-clock", "no-wallclock"]);
+}
+
+#[test]
+fn oracle_hash_iteration_fires_unordered_rule() {
+    // A "bad oracle" collecting its send schedule through a HashMap:
+    // iteration order would vary per run, so two builds of the same
+    // plan could disagree — exactly the nondeterminism the bound must
+    // not have.
+    let d = scan(
+        "crates/oracle/src/cc.rs",
+        "use std::collections::HashMap;\nfn f(m: &HashMap<u64, u64>) { for _ in m {} }\n",
+    );
+    assert!(
+        rules(&d).contains(&"no-unordered-iteration"),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn oracle_violations_fire_even_in_its_tests() {
+    // The deterministic scope covers test code too.
+    let d = scan(
+        "crates/oracle/tests/t.rs",
+        "fn f() { let _ = std::collections::HashSet::<u64>::new(); }\n",
+    );
+    assert_eq!(rules(&d), ["no-unordered-iteration"]);
+}
+
 // ------------------------------------------------------------ no-unwrap-in-lib
 
 #[test]

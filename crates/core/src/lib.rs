@@ -65,6 +65,7 @@
 //!         rtt: SimDuration::from_millis_f64(20.0 + 2.0 * w),
 //!         delay: SimDuration::from_millis_f64(10.0 + w),
 //!         send_window: w,
+//!         abc_mark: None,
 //!     });
 //!     now = now + SimDuration::from_millis(1);
 //!     if seq % 5 == 0 { cc.on_tick(now); }

@@ -705,6 +705,7 @@ mod tests {
             rtt: SimDuration::from_millis_f64(rtt_ms),
             delay: SimDuration::from_millis_f64(rtt_ms / 2.0),
             send_window,
+            abc_mark: None,
         }
     }
 

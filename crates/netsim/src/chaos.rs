@@ -122,6 +122,39 @@ impl ChaosSchedule {
         self
     }
 
+    /// The schedule for a named cellular stress scenario: the
+    /// scenario's [`verus_cellular::OutageTrain`] data becomes the
+    /// blackout/handover script, with reordering when the scenario
+    /// calls for it. Both the tournament bench and the chaos soak
+    /// build their impairments through here, so one parameter set in
+    /// `verus_cellular::StressScenario` defines the channel for both.
+    /// A scenario without outages (the deep-buffer cell) compiles to a
+    /// no-op pipeline.
+    #[must_use]
+    pub fn for_stress(scenario: &verus_cellular::StressScenario, seed: u64) -> Self {
+        let sched = Self::new(seed);
+        let Some(train) = scenario.outage_train() else {
+            return sched;
+        };
+        let reorder_prob = scenario.reorder_prob();
+        if reorder_prob > 0.0 {
+            sched.with(ChaosScript::HandoverStorm {
+                start: train.start,
+                period: train.outage + train.gap,
+                gap_len: train.outage,
+                repeats: train.repeats,
+                reorder_prob,
+            })
+        } else {
+            sched.with(ChaosScript::FlappingBlackout {
+                start: train.start,
+                outage: train.outage,
+                gap: train.gap,
+                repeats: train.repeats,
+            })
+        }
+    }
+
     /// The merged, sorted outage windows of the whole composition —
     /// chaos soaks measure recovery time from each window's end, so they
     /// need the same normalized view the compiled config carries.
@@ -296,6 +329,47 @@ mod tests {
             .compile()
             .expect_err("two GE chains cannot compose");
         assert!(err.contains("LossSpikeTrain"), "{err}");
+    }
+
+    #[test]
+    fn stress_scenarios_compile_and_match_their_trains() {
+        use verus_cellular::StressScenario;
+        for s in StressScenario::all() {
+            let sched = ChaosSchedule::for_stress(&s, 11);
+            let cfg = sched.compile().expect("stress schedule compiles");
+            match s.outage_train() {
+                None => assert!(cfg.blackouts.is_empty(), "{}", s.name()),
+                Some(train) => {
+                    let windows = sched.blackout_windows();
+                    assert_eq!(windows.len() as u64, train.repeats, "{}", s.name());
+                    for (w, (start, end)) in windows.iter().zip(train.windows()) {
+                        assert_eq!(w.start, start, "{}", s.name());
+                        assert_eq!(w.end(), end, "{}", s.name());
+                    }
+                }
+            }
+            assert_eq!(cfg.reorder_prob, s.reorder_prob(), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn blackout_recovery_matches_the_chaos_soak_script() {
+        // The soak's historical full-mode train: 3 × 2 s outages with
+        // 4 s gaps from t = 5 s. The shared scenario must reproduce it.
+        let shared = ChaosSchedule::for_stress(
+            &verus_cellular::StressScenario::BlackoutRecovery,
+            21,
+        )
+        .blackout_windows();
+        let legacy = ChaosSchedule::new(21)
+            .with(ChaosScript::FlappingBlackout {
+                start: SimTime::from_secs(5),
+                outage: SimDuration::from_secs(2),
+                gap: SimDuration::from_secs(4),
+                repeats: 3,
+            })
+            .blackout_windows();
+        assert_eq!(shared, legacy);
     }
 
     #[test]

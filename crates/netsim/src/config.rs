@@ -158,6 +158,13 @@ pub struct SimConfig {
     /// (loss bursts, reordering, duplication, corruption, blackouts).
     /// `Default` injects nothing.
     pub impairments: ImpairmentConfig,
+    /// ABC router marking at the cell bottleneck: `Some` stamps every
+    /// departing packet accelerate/brake (echoed to the controller via
+    /// `AckEvent::abc_mark`); `None` — the default everywhere else —
+    /// allocates no marker state and leaves every mark `None`, so all
+    /// pre-ABC runs are byte-identical to builds without this field.
+    /// Only meaningful with a [`BottleneckConfig::Cell`] bottleneck.
+    pub abc: Option<crate::abc::AbcConfig>,
 }
 
 impl SimConfig {
@@ -165,6 +172,12 @@ impl SimConfig {
     pub fn validate(&self) -> Result<(), String> {
         self.bottleneck.validate()?;
         self.impairments.validate()?;
+        if let Some(abc) = &self.abc {
+            abc.validate()?;
+            if !matches!(self.bottleneck, BottleneckConfig::Cell { .. }) {
+                return Err("abc marking requires a cell bottleneck".into());
+            }
+        }
         if self.flows.is_empty() {
             return Err("simulation needs at least one flow".into());
         }
@@ -222,6 +235,7 @@ mod tests {
             seed: 0,
             throughput_window: SimDuration::from_secs(1),
             impairments: ImpairmentConfig::default(),
+            abc: None,
         };
         assert!(cfg.validate().is_err());
     }
@@ -239,6 +253,7 @@ mod tests {
                 corrupt_prob: 2.0,
                 ..ImpairmentConfig::default()
             },
+            abc: None,
         };
         assert!(cfg.validate().is_err());
     }

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod abc;
 pub mod bottleneck;
 pub mod chaos;
 pub mod config;
@@ -46,6 +47,7 @@ pub mod shard;
 pub mod sim;
 pub mod wheel;
 
+pub use abc::AbcConfig;
 pub use bottleneck::{BottleneckConfig, FixedParams};
 pub use chaos::{ChaosSchedule, ChaosScript};
 pub use config::{FlowConfig, LossDetection, SimConfig};

@@ -22,6 +22,10 @@ pub struct QueuedPacket {
     pub bytes: u32,
     /// When the packet entered the queue.
     pub enqueued: SimTime,
+    /// ABC accelerate/brake stamp, applied by the cell service at
+    /// dequeue time when the simulation opts into ABC marking
+    /// (`None` everywhere else — every pre-ABC path).
+    pub abc_mark: Option<bool>,
 }
 
 /// Outcome of an enqueue attempt.
@@ -161,6 +165,13 @@ impl Queue {
         self.packets.front().map(|p| p.bytes)
     }
 
+    /// Enqueue timestamp of the head packet without removing it — the
+    /// head-of-line queueing delay is ABC's `x(t)` input.
+    #[must_use]
+    pub fn peek_enqueued(&self) -> Option<SimTime> {
+        self.packets.front().map(|p| p.enqueued)
+    }
+
     /// Current backlog in bytes.
     #[must_use]
     pub fn backlog_bytes(&self) -> u64 {
@@ -196,6 +207,7 @@ mod tests {
             seq: 0,
             bytes,
             enqueued: SimTime::ZERO,
+            abc_mark: None,
         }
     }
 

@@ -165,6 +165,7 @@ fn process_opportunity(
             seq: pkt.seq,
             bytes: pkt.bytes,
             sent_at: pkt.enqueued,
+            abc: pkt.abc_mark,
         };
         match groups
             .iter_mut()

@@ -72,6 +72,7 @@ pub(crate) enum EventKind {
         seq: u64,
         bytes: u32,
         sent_at: SimTime,
+        abc: Option<bool>,
     },
     /// ACK reaches the sender.
     AckArrive {
@@ -80,6 +81,7 @@ pub(crate) enum EventKind {
         bytes: u32,
         sent_at: SimTime,
         delivered_at: SimTime,
+        abc: Option<bool>,
     },
     /// A whole TTI's worth of packets for one flow reaches the receiver
     /// (wheel scheduler only; index into the batch slab).
@@ -245,6 +247,9 @@ pub(crate) struct BatchPkt {
     pub(crate) seq: u64,
     pub(crate) bytes: u32,
     pub(crate) sent_at: SimTime,
+    /// ABC mark stamped at cell dequeue (rides the batch so the ACK
+    /// can echo it; `None` when marking is off).
+    pub(crate) abc: Option<bool>,
 }
 
 /// One packet a sharded worker wants to launch into the channel: the
@@ -485,10 +490,18 @@ pub(crate) struct CellService {
     credit: u64,
     pub(crate) base_rtt: SimDuration,
     pub(crate) loss: f64,
+    /// ABC accelerate/brake marker; allocated only when the simulation
+    /// opts in, so the default path touches no marker state at all.
+    abc: Option<crate::abc::AbcMarker>,
 }
 
 impl CellService {
-    fn from_trace(trace: verus_cellular::Trace, base_rtt: SimDuration, loss: f64) -> Self {
+    fn from_trace(
+        trace: verus_cellular::Trace,
+        base_rtt: SimDuration,
+        loss: f64,
+        abc: Option<crate::abc::AbcConfig>,
+    ) -> Self {
         Self {
             base_duration: trace.duration().max(SimDuration::from_nanos(1)),
             opportunities: trace.opportunities().to_vec(),
@@ -497,6 +510,7 @@ impl CellService {
             credit: 0,
             base_rtt,
             loss,
+            abc: abc.map(crate::abc::AbcMarker::new),
         }
     }
 
@@ -512,6 +526,7 @@ impl CellService {
             credit: 0,
             base_rtt,
             loss,
+            abc: None,
         }
     }
 
@@ -533,14 +548,26 @@ impl CellService {
         // semantics).
         if blackout || queue.is_empty() {
             self.credit = 0;
+            if let Some(m) = self.abc.as_mut() {
+                m.on_idle(now);
+            }
         } else {
             self.credit += u64::from(opp.bytes);
+            if let Some(m) = self.abc.as_mut() {
+                let head_wait = queue
+                    .peek_enqueued()
+                    .map_or(SimDuration::ZERO, |t| now.saturating_since(t));
+                m.on_opportunity(now, opp.bytes, head_wait);
+            }
             while let Some(head) = queue.peek_bytes() {
                 if u64::from(head) > self.credit {
                     break;
                 }
-                let Some(pkt) = queue.dequeue() else { break };
+                let Some(mut pkt) = queue.dequeue() else { break };
                 self.credit -= u64::from(head);
+                if let Some(m) = self.abc.as_mut() {
+                    pkt.abc_mark = Some(m.mark(head));
+                }
                 deliveries.push(pkt);
             }
             if queue.is_empty() {
@@ -615,6 +642,7 @@ pub(crate) fn launch_into_channel(
                 seq,
                 bytes,
                 enqueued: now,
+                abc_mark: None,
             },
             uniform,
         );
@@ -855,7 +883,7 @@ impl Simulation {
                 trace,
                 base_rtt,
                 loss,
-            } => Service::Cell(CellService::from_trace(trace, base_rtt, loss)),
+            } => Service::Cell(CellService::from_trace(trace, base_rtt, loss, config.abc)),
         };
 
         let scheduler = SchedulerKind::default_for_build();
@@ -1231,6 +1259,7 @@ impl Simulation {
                 seq,
                 bytes,
                 sent_at,
+                abc,
             } => {
                 self.touch(flow);
                 self.record_delivery(flow, bytes, sent_at);
@@ -1245,6 +1274,7 @@ impl Simulation {
                         bytes,
                         sent_at,
                         delivered_at: self.now,
+                        abc,
                     },
                 );
             }
@@ -1271,9 +1301,10 @@ impl Simulation {
                 bytes,
                 sent_at,
                 delivered_at,
+                abc,
             } => {
                 self.touch(flow);
-                self.on_ack(flow, seq, bytes, sent_at, delivered_at);
+                self.on_ack(flow, seq, bytes, sent_at, delivered_at, abc);
             }
             EventKind::AckBatch(slot) => {
                 let flow = self.batches[slot].flow;
@@ -1284,7 +1315,7 @@ impl Simulation {
                 // Process in delivery order — identical to the oracle's
                 // back-to-back per-packet AckArrive dispatches.
                 for p in pkts.drain(..) {
-                    self.on_ack(flow, p.seq, p.bytes, p.sent_at, delivered_at);
+                    self.on_ack(flow, p.seq, p.bytes, p.sent_at, delivered_at, p.abc);
                 }
                 // Recycle the slot, keeping the Vec's capacity.
                 self.batches[slot].pkts = pkts;
@@ -1605,6 +1636,7 @@ impl Simulation {
                     seq: pkt.seq,
                     bytes: pkt.bytes,
                     sent_at,
+                    abc: pkt.abc_mark,
                 },
             );
         }
@@ -1672,6 +1704,7 @@ impl Simulation {
                     seq: pkt.seq,
                     bytes: pkt.bytes,
                     sent_at,
+                    abc: pkt.abc_mark,
                 };
                 // A TTI holds a handful of (flow, arrival) groups —
                 // linear scan beats hashing at this size.
@@ -1708,6 +1741,7 @@ impl Simulation {
         bytes: u32,
         sent_at: SimTime,
         delivered_at: SimTime,
+        abc: Option<bool>,
     ) {
         let now = self.now;
         let rtt = now.saturating_since(sent_at);
@@ -1741,6 +1775,7 @@ impl Simulation {
                     rtt,
                     delay: one_way,
                     send_window: meta.send_window,
+                    abc_mark: abc,
                 },
             );
         }
@@ -2040,6 +2075,7 @@ mod tests {
             seed,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         Simulation::new(config).unwrap().run()
     }
@@ -2147,6 +2183,7 @@ mod tests {
             seed: 6,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         let reports = Simulation::new(config).unwrap().run();
         let series = reports[0].throughput.series_mbps();
@@ -2181,6 +2218,7 @@ mod tests {
             seed: 9,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         let reports = Simulation::new(config).unwrap().run();
         let mbps = reports[0].mean_throughput_mbps();
@@ -2217,6 +2255,7 @@ mod tests {
             seed: 10,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         let reports = Simulation::new(config).unwrap().run();
         assert!(reports[0].timeouts > 0, "no RTO fired on dead link");
@@ -2236,6 +2275,7 @@ mod tests {
             seed: 21,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         let reports = Simulation::new(config).unwrap().run();
         let r = &reports[0];
@@ -2260,6 +2300,7 @@ mod tests {
             seed: 22,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         let reports = Simulation::new(config).unwrap().run();
         assert!(reports[0].completion_secs.is_none());
@@ -2292,6 +2333,7 @@ mod tests {
                 seed: 14,
                 throughput_window: SimDuration::from_secs(1),
                 impairments: Default::default(),
+                abc: None,
             };
             Simulation::new(config).unwrap()
         };
@@ -2319,6 +2361,7 @@ mod tests {
             seed: 15,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         let (reports, events) = Simulation::new(config).unwrap().run_counted();
         // Every delivery implies at least a Deliver and an AckArrive event.
@@ -2338,6 +2381,7 @@ mod tests {
             seed: 11,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         let mut calls = 0;
         let _ = Simulation::new(config)

@@ -28,6 +28,7 @@ fn run_lossy(cc: Box<dyn CongestionControl>, seed: u64) -> FlowReport {
         seed,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     };
     Simulation::new(config).unwrap().run().remove(0)
 }
@@ -81,6 +82,7 @@ fn clean_link_has_no_losses() {
         seed: 44,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     };
     let r = Simulation::new(config).unwrap().run().remove(0);
     assert_eq!(r.radio_lost, 0);

@@ -67,6 +67,7 @@ fn run(s: &Scenario) -> Vec<verus_netsim::FlowReport> {
         seed: s.seed,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     };
     Simulation::new(config).expect("valid config").run()
 }
@@ -151,6 +152,7 @@ proptest! {
             seed,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         let reports = Simulation::new(config).unwrap().run();
         for r in &reports {

@@ -23,6 +23,7 @@ fn run_one(
         seed,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     };
     Simulation::new(config).unwrap().run().remove(0)
 }
@@ -160,6 +161,7 @@ fn verus_intra_fairness_two_flows() {
         seed: 7,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     };
     let reports = Simulation::new(config).unwrap().run();
     // Compare rates over the shared tail (last 30 s).

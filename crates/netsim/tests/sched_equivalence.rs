@@ -57,6 +57,7 @@ fn clean_crowd(seed: u64) -> SimConfig {
         seed,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     }
 }
 
@@ -88,6 +89,7 @@ fn mixed_protocols(seed: u64) -> SimConfig {
         seed,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     }
 }
 
@@ -128,6 +130,7 @@ fn impaired(seed: u64) -> SimConfig {
             }],
             seed: seed ^ 0xD1CE,
         },
+        abc: None,
     }
 }
 
@@ -155,6 +158,7 @@ fn finite_and_shed(seed: u64) -> SimConfig {
         seed,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     }
 }
 
@@ -230,6 +234,7 @@ fn sharded_trace_jsonl_is_byte_identical() {
             seed,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         let reports = Simulation::new(config)
             .expect("valid config")
@@ -278,6 +283,7 @@ fn sharded_fallbacks_match_too() {
         seed,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     };
     let (base, be, bp) = run(fixed(7), SchedulerKind::Wheel);
     let (got, ge, gp) = run(fixed(7), SchedulerKind::Sharded { workers: 4 });

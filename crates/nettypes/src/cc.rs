@@ -40,6 +40,11 @@ pub struct AckEvent {
     /// (echoed from the packet header; the x-coordinate of the delay
     /// profile point this sample updates).
     pub send_window: f64,
+    /// ABC-style explicit bottleneck feedback echoed by the receiver:
+    /// `Some(true)` = the router stamped this packet *accelerate*,
+    /// `Some(false)` = *brake*, `None` = the path does not mark (every
+    /// pre-ABC configuration). Controllers other than ABC ignore it.
+    pub abc_mark: Option<bool>,
 }
 
 /// How a loss was detected.
@@ -190,6 +195,7 @@ mod tests {
             rtt: SimDuration::from_millis(20),
             delay: SimDuration::from_millis(10),
             send_window: 5.0,
+            abc_mark: None,
         };
         cc.on_ack(SimTime::ZERO, &ack);
         cc.on_loss(

@@ -1,0 +1,39 @@
+//! The omniscient upper bound: congestion control with the answers in
+//! hand.
+//!
+//! Goyal et al. (*Optimal Congestion Control for Time-varying Wireless
+//! Links*) define the yardstick every cellular protocol should be
+//! measured against: a controller that reads the full
+//! delivery-opportunity trace **in advance** and computes, offline, the
+//! send schedule that uses every opportunity while keeping queueing
+//! delay at the minimum the link itself permits. No causal protocol can
+//! beat it; the gap to it — *regret*, `1 − utility/optimal-utility`
+//! (see `verus_stats::regret`) — is the honest score the tournament
+//! (`bench_tournament`) reports per scenario.
+//!
+//! Two faces, one plan:
+//!
+//! * [`SchedulePlan`] — the offline planner: replays the simulator's
+//!   mahimahi credit semantics over the (looped) trace, segments at
+//!   blackout windows, and emits one send time per deliverable packet,
+//!   each a small lead ahead of its delivery opportunity;
+//! * [`OracleCc`] — the same plan as a runnable
+//!   [`CongestionControl`](verus_nettypes::CongestionControl), so the
+//!   bound is *measured on the identical transport* as every contender
+//!   (losses, RTT, queue and all) rather than asserted from arithmetic.
+//!   The plan's closed-form figures ([`SchedulePlan::planned_bytes`],
+//!   [`SchedulePlan::mean_planned_delay`]) ride along as a sanity
+//!   cross-check on what the run should achieve.
+//!
+//! Determinism: the planner is pure arithmetic over the trace — no
+//! clocks, no RNG, no hash iteration — and the crate is on
+//! `verus-check`'s deterministic-crates list.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod plan;
+
+pub use cc::OracleCc;
+pub use plan::SchedulePlan;

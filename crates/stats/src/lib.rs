@@ -26,6 +26,7 @@ pub mod ewma;
 pub mod histogram;
 pub mod jain;
 pub mod quantile;
+pub mod regret;
 pub mod reservoir;
 pub mod running;
 pub mod stream;
@@ -36,6 +37,7 @@ pub use ewma::Ewma;
 pub use histogram::{Histogram, LogHistogram};
 pub use jain::jain_index;
 pub use quantile::{quantile, P2Quantile, Summary};
+pub use regret::{regret, utility, DEFAULT_DELTA};
 pub use reservoir::Reservoir;
 pub use running::Running;
 pub use stream::StreamingStats;

@@ -213,6 +213,7 @@ impl UdpSender {
                                 rtt: sample,
                                 delay: one_way,
                                 send_window: ack.send_window,
+                                abc_mark: None,
                             },
                         );
                         // Re-arm the RTO and gap timers for holes.

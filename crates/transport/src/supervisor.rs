@@ -301,6 +301,7 @@ impl SupervisedSender {
                                 rtt: sample,
                                 delay: one_way,
                                 send_window: ack.send_window,
+                                abc_mark: None,
                             },
                         );
                         rto_deadline = if outstanding.is_empty() {

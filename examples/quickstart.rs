@@ -45,6 +45,7 @@ fn main() {
         seed: 1,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     };
 
     // 3. Run, observing the live protocol state at the end.

@@ -129,6 +129,39 @@ jq -e "$chaos_jq and (.smoke | not)" CHAOS_0.json > /dev/null \
   || { echo "committed CHAOS_0.json malformed or below the recovery SLOs"; exit 1; }
 rm -f "$chaos_out"
 
+# Tournament smoke: the baseline tournament (every protocol × scenario,
+# scored against the omniscient bound) on its 3-scenario smoke grid.
+# Run twice to scratch paths — the artifact is hand-rolled fixed-
+# precision JSON from a seeded simulation, so the two runs must be
+# byte-identical. jq then gates the contract on the smoke record and on
+# the committed TOURNAMENT_0.json (the reviewed full 8 × 10 grid):
+# the oracle's regret is *exactly* 0 in every scenario (its utility is
+# the denominator), every other regret lies in [0, 1], and every cell
+# delivered traffic.
+tourn_out="$(mktemp /tmp/bench_tournament.XXXXXX.json)"
+tourn_out2="$(mktemp /tmp/bench_tournament.XXXXXX.json)"
+VERUS_BENCH_OUT="$tourn_out" cargo run --release -q -p verus-bench --bin bench_tournament -- --smoke
+VERUS_BENCH_OUT="$tourn_out2" cargo run --release -q -p verus-bench --bin bench_tournament -- --smoke > /dev/null
+cmp -s "$tourn_out" "$tourn_out2" \
+  || { echo "tournament smoke is not byte-stable across same-seed runs"; diff "$tourn_out" "$tourn_out2" | head; exit 1; }
+tourn_jq='
+  .schema == "verus-tournament-v1"
+  and (.protocols == 8)
+  and ([.scenarios[].cells | length] | unique == [8])
+  and ([.scenarios[].cells[].protocol] | unique | sort
+       == ["abc", "c2tcp", "cubic", "newreno", "oracle", "sprout", "vegas", "verus"])
+  and ([.scenarios[].cells[] | select(.protocol == "oracle") | .regret] | unique == [0])
+  and ([.scenarios[].cells[].regret | select(. < 0 or . > 1)] == [])
+  and ([.scenarios[].cells[] | select(.delivered <= 0)] == [])
+  and ([.scenarios[] | select(.optimal_utility <= 0)] == [])
+'
+jq -e "$tourn_jq and .smoke and (.scenarios | length == 3)" "$tourn_out" > /dev/null \
+  || { echo "tournament smoke emitted a malformed record:"; cat "$tourn_out"; exit 1; }
+jq -e "$tourn_jq and (.smoke | not) and (.scenarios | length == 10)
+       and ([.scenarios[].kind] | unique | sort == [\"paper\", \"stress\"])" TOURNAMENT_0.json > /dev/null \
+  || { echo "committed TOURNAMENT_0.json malformed or below acceptance"; exit 1; }
+rm -f "$tourn_out" "$tourn_out2"
+
 # Trace smoke: capture a short traced simulation, validate the JSONL
 # schema line by line, replay it through trace_report, and fail if the
 # recorder dropped anything (a nonzero drop counter means the bounded

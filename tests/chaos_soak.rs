@@ -78,6 +78,7 @@ fn netsim_chaos_soak_meets_recovery_slos() {
         seed: SEED,
         throughput_window: SimDuration::from_millis(100),
         impairments: sched.compile().expect("chaos schedule compiles"),
+        abc: None,
     };
     let reports = Simulation::new(config).expect("valid config").run();
     let r = &reports[0];

@@ -62,6 +62,7 @@ fn soak_config(impairment_seed: u64, duration: SimDuration) -> SimConfig {
         seed: 7,
         throughput_window: SimDuration::from_secs(1),
         impairments: soak_impairments(impairment_seed),
+        abc: None,
     }
 }
 

@@ -30,6 +30,7 @@ fn run(r: f64, rate_mbps: f64, rtt_ms: u64, secs: u64) -> Measured {
         seed: 6000 + r as u64 + rtt_ms,
         throughput_window: SimDuration::from_secs(1),
         impairments: Default::default(),
+        abc: None,
     };
     let report = Simulation::new(config).unwrap().run().remove(0);
     // Skip slow start: use the second half's delays only.

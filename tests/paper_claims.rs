@@ -84,6 +84,7 @@ fn claim_verus_beats_sprout_under_rapid_change() {
             seed: 4101,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         Simulation::new(config).unwrap().run().remove(0).mean_throughput_mbps()
     };
@@ -111,6 +112,7 @@ fn claim_sprout_cap_verus_uncapped() {
             seed: 4200,
             throughput_window: SimDuration::from_secs(1),
             impairments: Default::default(),
+            abc: None,
         };
         Simulation::new(config).unwrap().run().remove(0).mean_throughput_mbps()
     };

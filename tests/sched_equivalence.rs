@@ -44,6 +44,7 @@ fn single_flow_cell(seed: u64) -> SimConfig {
         seed,
         throughput_window: SimDuration::from_secs(1),
         impairments: ImpairmentConfig::default(),
+        abc: None,
     }
 }
 
@@ -73,6 +74,7 @@ fn ten_flow_red_cell(seed: u64) -> SimConfig {
         seed,
         throughput_window: SimDuration::from_secs(1),
         impairments: ImpairmentConfig::default(),
+        abc: None,
     }
 }
 
@@ -108,6 +110,7 @@ fn impaired_gilbert_elliott(seed: u64) -> SimConfig {
             blackouts: Vec::new(),
             seed: seed.wrapping_mul(31),
         },
+        abc: None,
     }
 }
 
@@ -123,6 +126,7 @@ fn fixed_dumbbell(seed: u64) -> SimConfig {
         seed,
         throughput_window: SimDuration::from_secs(1),
         impairments: ImpairmentConfig::default(),
+        abc: None,
     }
 }
 
