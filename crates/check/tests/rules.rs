@@ -309,6 +309,18 @@ fn narrowing_casts_fire_in_transport_lib() {
 }
 
 #[test]
+fn narrowing_casts_fire_in_the_batched_io_plane() {
+    // io_batch.rs marshals datagram lengths between kernel structs and
+    // Rust types — exactly where a silent truncation would corrupt the
+    // packet ledger, so the rule covers it like the rest of transport.
+    let d = scan(
+        "crates/transport/src/io_batch.rs",
+        "fn f(n: u64) -> usize { n as usize }\n",
+    );
+    assert_eq!(rules(&d), ["no-truncating-cast"]);
+}
+
+#[test]
 fn widening_casts_are_clean() {
     let d = scan(
         "crates/netsim/src/sim.rs",
@@ -453,6 +465,20 @@ fn every_atomic_ordering_variant_is_audited() {
 }
 
 #[test]
+fn shard_server_atomics_are_in_the_audited_scope() {
+    // The sharded transport plane's lock-free stats and mailbox live in
+    // shard_server.rs: every new `Ordering::` site there must carry the
+    // same-line justification, exactly like the rest of the crate.
+    let d = scan(
+        "crates/transport/src/shard_server.rs",
+        "fn f(x: &AtomicU64) -> u64 { x.fetch_add(1, Ordering::Relaxed) }\n",
+    );
+    assert_eq!(rules(&d), ["atomic-ordering-justified"]);
+    let justified = "fn f(x: &AtomicU64) { x.store(1, Ordering::Release); } // ordering: publish barrier for the stats snapshot\n";
+    assert!(scan("crates/transport/src/shard_server.rs", justified).is_empty());
+}
+
+#[test]
 fn cmp_ordering_variants_are_not_atomic_sites() {
     let d = scan(
         "crates/transport/src/foo.rs",
@@ -526,6 +552,18 @@ fn threads_allowed_in_netsim_shard_runner_only() {
         rules(&scan("crates/core/src/shard.rs", scope)),
         ["no-thread-outside-transport"]
     );
+}
+
+#[test]
+fn loadtest_bench_bin_may_not_spawn_threads() {
+    // The BENCH_4 driver must stay a pure client of `ShardServer` —
+    // all thread-per-core fan-out lives behind the transport API, so
+    // the bench numbers measure the plane, not ad-hoc bin threading.
+    let d = scan(
+        "crates/bench/src/bin/bench_loadtest.rs",
+        "fn f() { std::thread::spawn(|| {}); }\n",
+    );
+    assert_eq!(rules(&d), ["no-thread-outside-transport"]);
 }
 
 #[test]

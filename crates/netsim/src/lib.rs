@@ -53,4 +53,11 @@ pub use chaos::{ChaosSchedule, ChaosScript};
 pub use config::{FlowConfig, LossDetection, SimConfig};
 pub use impairment::{Blackout, ImpairmentConfig, Impairments, LossModel};
 pub use metrics::FlowReport;
+// The scheduling substrate, re-exported at the crate root as shared
+// infrastructure: the transport crate's thread-per-core shard server
+// runs its RTO/epoch timers and in-flight tables on the *identical*,
+// property-tested structures the simulator uses (rather than a copy
+// that would drift).
+pub use outstanding::OutstandingTable;
 pub use sim::{SchedulerKind, Simulation};
+pub use wheel::TimingWheel;

@@ -48,6 +48,16 @@ use verus_nettypes::SimTime;
 /// Crate-visible: the event loop quantizes RTO deadlines to this
 /// granule so per-ACK deadline churn costs one insert per granule.
 pub(crate) const GRAN_BITS: u32 = 20;
+
+/// Width of one inner-wheel granule (2²⁰ ns ≈ 1.05 ms) as a duration —
+/// the wheel's scheduling resolution. External consumers (the transport
+/// shard server quantizes its RTO re-arms exactly like the event loop
+/// does) size their deadline coalescing from this instead of hardcoding
+/// a copy of `GRAN_BITS`.
+#[must_use]
+pub fn granule() -> verus_nettypes::SimDuration {
+    verus_nettypes::SimDuration::from_nanos(1 << GRAN_BITS)
+}
 /// log2 of the slot count per level.
 const SLOT_BITS: u32 = 6;
 /// Slots per level.
@@ -164,6 +174,20 @@ impl<K> TimingWheel<K> {
         let std::cmp::Reverse(e) = self.current.pop()?;
         self.len -= 1;
         Some((SimTime::from_nanos(e.time), e.tie, e.kind))
+    }
+
+    /// The earliest pending event's `(time, tie)` without removing it —
+    /// the deadline a wall-clock driver sleeps toward. Takes `&mut self`
+    /// because finding the minimum may refill the current bucket (and so
+    /// advance the cursor); as documented on [`TimingWheel::pop_next_before`],
+    /// that is safe for later `schedule` calls.
+    pub fn peek_next(&mut self) -> Option<(SimTime, u64)> {
+        if self.current.is_empty() && !self.refill() {
+            return None;
+        }
+        self.current
+            .peek()
+            .map(|std::cmp::Reverse(e)| (SimTime::from_nanos(e.time), e.tie))
     }
 
     /// Like [`TimingWheel::pop_next`], but only if the earliest event's
@@ -500,6 +524,36 @@ mod tests {
             idx += 1;
         }
         assert_eq!(idx, reference.len());
+    }
+
+    #[test]
+    fn peek_matches_the_next_pop_without_consuming() {
+        let mut w = TimingWheel::new();
+        assert_eq!(w.peek_next(), None);
+        let g = 1u64 << GRAN_BITS;
+        // One near event, one parked on an outer level.
+        w.schedule(SimTime::from_nanos(500), 3, 50u32);
+        w.schedule(SimTime::from_nanos(70 * g), 4, 70);
+        for _ in 0..3 {
+            assert_eq!(w.peek_next(), Some((SimTime::from_nanos(500), 3)));
+        }
+        assert_eq!(w.len(), 2, "peek must not consume");
+        assert_eq!(w.pop_next().map(|(_, _, k)| k), Some(50));
+        // The outer-level event cascades in through peek's refill.
+        assert_eq!(w.peek_next(), Some((SimTime::from_nanos(70 * g), 4)));
+        assert_eq!(w.pop_next().map(|(_, _, k)| k), Some(70));
+        assert_eq!(w.peek_next(), None);
+        // Scheduling after a peek-driven refill stays ordered.
+        w.schedule(SimTime::from_nanos(70 * g + 1), 5, 71);
+        w.schedule(SimTime::from_nanos(71 * g), 6, 72);
+        assert_eq!(w.peek_next(), Some((SimTime::from_nanos(70 * g + 1), 5)));
+        assert_eq!(w.pop_next().map(|(_, _, k)| k), Some(71));
+        assert_eq!(w.pop_next().map(|(_, _, k)| k), Some(72));
+    }
+
+    #[test]
+    fn granule_matches_gran_bits() {
+        assert_eq!(granule().as_nanos(), 1u64 << GRAN_BITS);
     }
 
     #[test]

@@ -17,16 +17,23 @@
 //! sender ◀── [ingress socket]
 //! ```
 //!
-//! One thread owns both sockets and a small timing wheel; delivery
-//! opportunities come from a looped [`Trace`]. Byte credit accumulates
-//! only while the queue is backlogged, exactly like the simulator's cell
-//! link, so both testbeds implement the same channel semantics.
+//! One thread owns both sockets; delivery opportunities come from a
+//! looped [`Trace`]. Byte credit accumulates only while the queue is
+//! backlogged, exactly like the simulator's cell link, so both testbeds
+//! implement the same channel semantics.
+//!
+//! Internals are shared with the scale-out plane: the propagation delay
+//! line is the netsim hierarchical [`TimingWheel`] (the same structure
+//! the shard server runs its timers on), and both sockets are driven
+//! through [`IoBatcher`](crate::io_batch::IoBatcher) — so a crowd of
+//! senders pointed at one emulator costs batches of syscalls, not one
+//! per datagram.
 
 use crate::clock::WallClock;
+use crate::io_batch::{batcher_for, IoBatcher, IoMode, OutPacket};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -34,6 +41,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use verus_cellular::Trace;
 use verus_netsim::impairment::{ImpairmentConfig, Impairments, IngressFate};
+use verus_netsim::TimingWheel;
 use verus_nettypes::{SimDuration, SimTime};
 
 /// Emulator configuration.
@@ -83,24 +91,10 @@ impl EmulatorConfig {
     }
 }
 
-#[derive(PartialEq, Eq)]
-struct Timed {
-    at: SimTime,
-    tie: u64,
+/// A packet riding the propagation-delay wheel.
+struct Delayed {
     to_receiver: bool,
     payload: Vec<u8>,
-}
-
-impl Ord for Timed {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.tie).cmp(&(other.at, other.tie))
-    }
-}
-
-impl PartialOrd for Timed {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// State shared between the emulator thread and its handle: the stop
@@ -136,8 +130,8 @@ impl Emulator {
         let ingress = UdpSocket::bind("127.0.0.1:0")?;
         let egress = UdpSocket::bind("127.0.0.1:0")?;
         let ingress_addr = ingress.local_addr()?;
-        ingress.set_read_timeout(Some(Duration::from_micros(300)))?;
-        egress.set_nonblocking(true)?;
+        let ingress = batcher_for(ingress, IoMode::auto())?;
+        let egress = batcher_for(egress, IoMode::auto())?;
 
         let shared = Arc::new(EmulatorShared::default());
         let t_shared = Arc::clone(&shared);
@@ -145,7 +139,7 @@ impl Emulator {
         let thread = std::thread::Builder::new()
             .name("verus-emulator".into())
             .spawn(move || {
-                run_loop(&config, clock, &ingress, &egress, &t_shared);
+                run_loop(&config, clock, ingress, egress, &t_shared);
             })?;
 
         Ok(EmulatorHandle {
@@ -161,8 +155,8 @@ impl Emulator {
 fn run_loop(
     config: &EmulatorConfig,
     clock: WallClock,
-    ingress: &UdpSocket,
-    egress: &UdpSocket,
+    mut ingress: Box<dyn IoBatcher>,
+    mut egress: Box<dyn IoBatcher>,
     shared: &EmulatorShared,
 ) {
     let opportunities = config.trace.opportunities();
@@ -174,19 +168,25 @@ fn run_loop(
 
     let mut queue: VecDeque<Vec<u8>> = VecDeque::new();
     let mut backlog: u64 = 0;
-    let mut delay_line: BinaryHeap<Reverse<Timed>> = BinaryHeap::new();
+    // The propagation-delay line, on the netsim timing wheel. Entries
+    // are always scheduled at `now + delay`, which satisfies the wheel's
+    // monotone contract (pops never pass `now`).
+    let mut delay_line: TimingWheel<Delayed> = TimingWheel::new();
     let mut tie = 0u64;
+    // Data packets currently riding the wheel (ACK entries excluded),
+    // for the exit conservation ledger.
+    let mut data_in_wheel: u64 = 0;
+    let mut fwd_out: Vec<OutPacket> = Vec::new();
+    let mut ack_out: Vec<OutPacket> = Vec::new();
     let mut sender_addr: Option<SocketAddr> = None;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut impairments = Impairments::new(config.impairments.clone());
-    let mut buf = [0u8; 65_536];
 
     // Local ledger: every data packet read from the ingress socket (plus
     // every injected duplicate) must end up in exactly one bucket. The
     // shared atomics mirror the publicly interesting ones.
     let mut dup_injected: u64 = 0;
     let mut corrupt_dropped: u64 = 0;
-    let mut send_failed: u64 = 0;
     let mut last_heard = Instant::now();
 
     while !shared.stop.load(Ordering::Relaxed) { // ordering: advisory stop flag; the 300 us socket timeout bounds shutdown latency
@@ -225,12 +225,15 @@ fn run_loop(
                         }
                         let extra = fate.extra_delay.unwrap_or(SimDuration::ZERO);
                         tie += 1;
-                        delay_line.push(Reverse(Timed {
-                            at: now + config.fwd_delay + extra,
+                        data_in_wheel += 1;
+                        delay_line.schedule(
+                            now + config.fwd_delay + extra,
                             tie,
-                            to_receiver: true,
-                            payload,
-                        }));
+                            Delayed {
+                                to_receiver: true,
+                                payload,
+                            },
+                        );
                     } else {
                         break;
                     }
@@ -246,90 +249,80 @@ fn run_loop(
             }
         }
 
-        // 2. Release packets from the delay line.
-        loop {
-            if delay_line
-                .peek()
-                .is_none_or(|Reverse(head)| head.at > now)
-            {
-                break;
-            }
-            let Some(Reverse(item)) = delay_line.pop() else {
-                break; // unreachable: peek() was Some above
-            };
+        // 2. Release due packets from the delay line into the send
+        // batches, then flush each socket with one batched call.
+        while let Some((_at, _tie, item)) = delay_line.pop_next_before(now) {
             if item.to_receiver {
-                if egress.send_to(&item.payload, config.receiver).is_ok() {
-                    shared.forwarded.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
-                } else {
-                    send_failed += 1;
-                }
+                data_in_wheel -= 1;
+                fwd_out.push(OutPacket {
+                    to: config.receiver,
+                    bytes: item.payload,
+                });
             } else if let Some(addr) = sender_addr {
-                let _ = ingress.send_to(&item.payload, addr);
+                ack_out.push(OutPacket {
+                    to: addr,
+                    bytes: item.payload,
+                });
             }
         }
-
-        // 3. Ingest data packets from the sender (bounded batch).
-        for _ in 0..64 {
-            match ingress.recv_from(&mut buf) {
-                Ok((n, src)) => {
-                    last_heard = Instant::now();
-                    sender_addr = Some(src);
-                    shared.received.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
-                    if config.loss > 0.0 && rng.gen::<f64>() < config.loss {
-                        shared.dropped.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
-                        continue;
-                    }
-                    let copies = match impairments.on_ingress(clock.now()) {
-                        IngressFate::Lost => {
-                            shared.impaired.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
-                            continue;
-                        }
-                        IngressFate::Pass { duplicate: false } => 1,
-                        IngressFate::Pass { duplicate: true } => {
-                            dup_injected += 1;
-                            2
-                        }
-                    };
-                    for _ in 0..copies {
-                        if backlog + n as u64 > config.queue_capacity {
-                            shared.dropped.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
-                            continue;
-                        }
-                        backlog += n as u64;
-                        queue.push_back(buf[..n].to_vec());
-                    }
-                }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    break;
-                }
-                Err(_) => return,
-            }
+        if !fwd_out.is_empty() {
+            // Kernel-refused datagrams land in the egress batcher's
+            // `send_failed` counter (read in the exit ledger below).
+            let Ok(n) = egress.send_batch(&mut fwd_out) else {
+                return;
+            };
+            shared.forwarded.fetch_add(n as u64, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
+        }
+        if !ack_out.is_empty() && ingress.send_batch(&mut ack_out).is_err() {
+            return;
         }
 
-        // 4. Ingest ACKs from the receiver.
-        for _ in 0..64 {
-            match egress.recv_from(&mut buf) {
-                Ok((n, _src)) => {
-                    last_heard = Instant::now();
-                    tie += 1;
-                    delay_line.push(Reverse(Timed {
-                        at: clock.now() + config.ack_delay,
-                        tie,
-                        to_receiver: false,
-                        payload: buf[..n].to_vec(),
-                    }));
-                }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    break;
-                }
-                Err(_) => return,
+        // 3. Ingest data packets from the sender (one batched call, up
+        // to `io_batch::BATCH` datagrams).
+        let ingested = ingress.recv_batch(&mut |pkt, src| {
+            sender_addr = Some(src);
+            shared.received.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
+            if config.loss > 0.0 && rng.gen::<f64>() < config.loss {
+                shared.dropped.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
+                return;
             }
+            let copies = match impairments.on_ingress(clock.now()) {
+                IngressFate::Lost => {
+                    shared.impaired.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
+                    return;
+                }
+                IngressFate::Pass { duplicate: false } => 1,
+                IngressFate::Pass { duplicate: true } => {
+                    dup_injected += 1;
+                    2
+                }
+            };
+            for _ in 0..copies {
+                if backlog + pkt.len() as u64 > config.queue_capacity {
+                    shared.dropped.fetch_add(1, Ordering::Relaxed); // ordering: monotonic stat counter; nothing else depends on it
+                    continue;
+                }
+                backlog += pkt.len() as u64;
+                queue.push_back(pkt.to_vec());
+            }
+        });
+        let Ok(ingested) = ingested else { return };
+
+        // 4. Ingest ACKs from the receiver onto the delay line.
+        let acks = egress.recv_batch(&mut |pkt, _src| {
+            tie += 1;
+            delay_line.schedule(
+                clock.now() + config.ack_delay,
+                tie,
+                Delayed {
+                    to_receiver: false,
+                    payload: pkt.to_vec(),
+                },
+            );
+        });
+        let Ok(acks) = acks else { return };
+        if ingested > 0 || acks > 0 {
+            last_heard = Instant::now();
         }
 
         // 5. Silent-peer watchdog: if both peers have gone quiet for too
@@ -342,7 +335,11 @@ fn run_loop(
                 break;
             }
         }
-        // ingress' 300 µs read timeout paces the loop.
+        // Pacing: batcher sockets are non-blocking, so an idle
+        // iteration sleeps the same 300 µs the old read timeout gave.
+        if ingested == 0 && acks == 0 {
+            std::thread::sleep(Duration::from_micros(300));
+        }
     }
 
     // Exit-path packet conservation: everything read from the ingress
@@ -350,10 +347,8 @@ fn run_loop(
     // specific, or still inside the emulator.
     #[cfg(any(debug_assertions, feature = "strict-invariants"))]
     {
-        let in_flight = delay_line
-            .iter()
-            .filter(|Reverse(t)| t.to_receiver)
-            .count() as u64;
+        let in_flight = data_in_wheel;
+        let send_failed = egress.counters().send_failed;
         let received = shared.received.load(Ordering::Relaxed); // ordering: same-thread read; the loop above has exited
         let forwarded = shared.forwarded.load(Ordering::Relaxed); // ordering: same-thread read; the loop above has exited
         let dropped = shared.dropped.load(Ordering::Relaxed); // ordering: same-thread read; the loop above has exited
@@ -376,7 +371,7 @@ fn run_loop(
         );
     }
     #[cfg(not(any(debug_assertions, feature = "strict-invariants")))]
-    let _ = (dup_injected, corrupt_dropped, send_failed);
+    let _ = (dup_injected, corrupt_dropped, data_in_wheel);
 }
 
 impl EmulatorHandle {

@@ -35,23 +35,45 @@
 //!   probes on the backoff schedule while disconnected, warm-restarts
 //!   the congestion controller on resumption, and sheds overload into
 //!   the `shed_dropped` ledger column.
+//!
+//! The scale-out plane (DESIGN.md §15) replaces thread-pairs-per-socket
+//! with thread-per-core sharding for crowds of flows:
+//!
+//! * [`io_batch`] — `sendmmsg`/`recvmmsg` syscall batching behind the
+//!   [`IoBatcher`] trait, with a portable per-packet fallback;
+//! * [`timer_plane`] — per-shard RTO/epoch timers on the netsim
+//!   hierarchical timing wheel (no per-flow sleep loops);
+//! * [`shard_server`] — the thread-per-core server itself: each shard
+//!   exclusively owns `flow % shards == shard` flows, drives their
+//!   sessions/CC through one batched socket, and publishes lock-free
+//!   cache-padded stats snapshots.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one `#[allow(unsafe_code)]` in the
+// tree is io_batch's cfg-gated mmsg FFI module (see its safety notes).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;
 pub mod emulator;
+pub mod io_batch;
 pub mod receiver;
 pub mod sender;
 pub mod session;
+pub mod shard_server;
 pub mod stats;
 pub mod supervisor;
+pub mod timer_plane;
 
 pub use clock::WallClock;
 pub use emulator::{Emulator, EmulatorConfig, EmulatorHandle};
+pub use io_batch::{batcher_for, IoBatcher, IoCounters, IoMode, OutPacket};
 pub use receiver::{Receiver, ReceiverHandle};
 pub use sender::{SenderConfig, UdpSender};
 pub use session::{BackoffSchedule, Session, SessionConfig, Transition};
+pub use shard_server::{
+    FlowSpec, LoadReport, ShardServer, ShardServerConfig, ShardSnapshot,
+};
+pub use timer_plane::{TimerKind, TimerPlane};
 // The state enum lives in `verus-trace` (session records embed it);
 // re-exported here because `Transition` is spelled in terms of it.
 pub use verus_trace::SessionState;

@@ -19,9 +19,9 @@
 
 use crate::clock::WallClock;
 use crate::stats::TransferStats;
-use std::collections::BTreeMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::Duration;
+use verus_netsim::OutstandingTable;
 use verus_nettypes::{
     AckEvent, AckPacket, CongestionControl, DataPacket, LossEvent, LossKind, RttEstimator,
     SimDuration, SimTime,
@@ -93,7 +93,10 @@ impl UdpSender {
         let tick = cc.tick_interval();
         let mut next_tick = tick.map(|t| start + t);
 
-        let mut outstanding: BTreeMap<u64, Outstanding> = BTreeMap::new();
+        // The simulator's slab-backed in-flight table (shared netsim
+        // infrastructure) — same ordered-map contract as a BTreeMap of
+        // sequences, without per-packet allocation.
+        let mut outstanding: OutstandingTable<Outstanding> = OutstandingTable::new();
         let mut next_seq: u64 = 0;
         let mut rtt = RttEstimator::default();
         let mut rto_deadline: Option<SimTime> = None;
@@ -139,10 +142,10 @@ impl UdpSender {
             let due: Vec<u64> = outstanding
                 .iter()
                 .filter(|(_, o)| o.gap_deadline.is_some_and(|d| now >= d))
-                .map(|(&s, _)| s)
+                .map(|(s, _)| s)
                 .collect();
             for seq in due {
-                let Some(o) = outstanding.remove(&seq) else {
+                let Some(o) = outstanding.remove(seq) else {
                     continue; // unreachable: `due` was computed from the map
                 };
                 stats.fast_losses += 1;
@@ -159,7 +162,7 @@ impl UdpSender {
             // 3. RTO (with exponential backoff across consecutive fires).
             if let Some(d) = rto_deadline {
                 if now >= d {
-                    if let Some((&oldest, o)) = outstanding.iter().next() {
+                    if let Some((oldest, o)) = outstanding.front() {
                         let send_window = o.send_window;
                         outstanding.clear();
                         stats.timeouts += 1;
@@ -191,7 +194,7 @@ impl UdpSender {
                         // carry valid RTT samples — feeding them prevents
                         // the spurious-RTO spiral after timeouts.
                         rtt.on_sample(sample);
-                        let Some(o) = outstanding.remove(&ack.seq) else {
+                        let Some(o) = outstanding.remove(ack.seq) else {
                             continue; // stale: no CC events
                         };
                         let one_way = SimTime::from_micros(ack.recv_time_us)
@@ -225,7 +228,7 @@ impl UdpSender {
                         let gap = rtt
                             .srtt_or(SimDuration::from_millis(200))
                             .mul_f64(self.config.gap_factor);
-                        for (_, o) in outstanding.range_mut(..ack.seq) {
+                        for (_, o) in outstanding.iter_below_mut(ack.seq) {
                             if o.gap_deadline.is_none() {
                                 o.gap_deadline = Some(now + gap);
                             }

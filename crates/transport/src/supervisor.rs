@@ -34,9 +34,9 @@ use crate::clock::WallClock;
 use crate::sender::SenderConfig;
 use crate::session::{Session, SessionConfig, Transition};
 use crate::stats::TransferStats;
-use std::collections::BTreeMap;
 use std::net::UdpSocket;
 use std::time::Duration;
+use verus_netsim::OutstandingTable;
 use verus_nettypes::{
     AckEvent, AckPacket, CongestionControl, DataPacket, LossEvent, LossKind, RttEstimator,
     SimDuration, SimTime,
@@ -171,7 +171,9 @@ impl SupervisedSender {
         let mut transitions: Vec<Transition> = Vec::new();
         let mut last_change = start;
 
-        let mut outstanding: BTreeMap<u64, Outstanding> = BTreeMap::new();
+        // The simulator's slab-backed in-flight table (shared netsim
+        // infrastructure; see `verus_netsim::OutstandingTable`).
+        let mut outstanding: OutstandingTable<Outstanding> = OutstandingTable::new();
         let mut next_seq: u64 = 0;
         let mut rtt = RttEstimator::default();
         let mut rto_deadline: Option<SimTime> = None;
@@ -224,10 +226,10 @@ impl SupervisedSender {
             let due: Vec<u64> = outstanding
                 .iter()
                 .filter(|(_, o)| o.gap_deadline.is_some_and(|d| now >= d))
-                .map(|(&s, _)| s)
+                .map(|(s, _)| s)
                 .collect();
             for seq in due {
-                let Some(o) = outstanding.remove(&seq) else {
+                let Some(o) = outstanding.remove(seq) else {
                     continue;
                 };
                 stats.fast_losses += 1;
@@ -244,7 +246,7 @@ impl SupervisedSender {
             // 3. RTO.
             if let Some(d) = rto_deadline {
                 if now >= d && !outstanding.is_empty() {
-                    let oldest = outstanding.iter().next().map(|(&s, o)| (s, o.send_window));
+                    let oldest = outstanding.front().map(|(s, o)| (s, o.send_window));
                     if let Some((oldest, send_window)) = oldest {
                         outstanding.clear();
                         stats.timeouts += 1;
@@ -278,7 +280,7 @@ impl SupervisedSender {
                         let sample =
                             now.saturating_since(SimTime::from_micros(ack.echo_send_time_us));
                         rtt.on_sample(sample);
-                        let Some(o) = outstanding.remove(&ack.seq) else {
+                        let Some(o) = outstanding.remove(ack.seq) else {
                             continue; // stale: no CC events
                         };
                         let _ = o;
@@ -312,7 +314,7 @@ impl SupervisedSender {
                         let gap = rtt
                             .srtt_or(SimDuration::from_millis(200))
                             .mul_f64(self.config.sender.gap_factor);
-                        for (_, o) in outstanding.range_mut(..ack.seq) {
+                        for (_, o) in outstanding.iter_below_mut(ack.seq) {
                             if o.gap_deadline.is_none() {
                                 o.gap_deadline = Some(now + gap);
                             }

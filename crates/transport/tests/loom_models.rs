@@ -252,6 +252,142 @@ fn check_then_set_reconnect_claim_can_double_run() {
 }
 
 #[test]
+fn mailbox_payload_is_valid_whenever_the_seq_bump_is_seen() {
+    // `ShardMailbox` hand-off (shard_server.rs): `post` stores the
+    // command payload *first*, then bumps `seq` with a fetch_add; `take`
+    // reads `seq` first and only then the payload. Because the payload
+    // write precedes the seq bump in program order, any reader that
+    // observes the bump observes a fully written command — never the
+    // empty initial slot. Two racing posters are last-writer-wins: the
+    // payload is always one of the posted commands.
+    const DRAIN: u64 = 1;
+    const ABORT: u64 = 2;
+    let stats = model(|| {
+        let payload = Arc::new(AtomicU64::new(0));
+        let seq = Arc::new(AtomicU64::new(0));
+        let poster = |cmd: u64, payload: &Arc<AtomicU64>, seq: &Arc<AtomicU64>| {
+            let (payload, seq) = (Arc::clone(payload), Arc::clone(seq));
+            thread::spawn(move || {
+                payload.store(cmd, Ordering::Relaxed);
+                seq.fetch_add(1, Ordering::Release);
+            })
+        };
+        let a = poster(DRAIN, &payload, &seq);
+        let b = poster(ABORT, &payload, &seq);
+        // The worker-side `take`: seq first, payload second.
+        if seq.load(Ordering::Acquire) > 0 {
+            let cmd = payload.load(Ordering::Relaxed);
+            assert!(
+                cmd == DRAIN || cmd == ABORT,
+                "seq bumped but payload empty/garbage: {cmd}"
+            );
+        }
+        a.join();
+        b.join();
+        // At rest both posts landed; last writer wins, never a blend.
+        assert_eq!(seq.load(Ordering::Acquire), 2);
+        let cmd = payload.load(Ordering::Relaxed);
+        assert!(cmd == DRAIN || cmd == ABORT);
+    });
+    assert!(!stats.truncated, "mailbox hand-off must be explored exhaustively");
+}
+
+#[test]
+fn seq_first_mailbox_post_can_leak_an_empty_payload() {
+    // The counter-example that makes `post`'s write order load-bearing:
+    // bump `seq` before storing the payload and the worker's `take` can
+    // slip between the two writes, observe the bump, and read the empty
+    // slot — a spurious "command zero" the decoder would have to paper
+    // over. The model finds the interleaving.
+    const ABORT: u64 = 2;
+    let found = exists_failing(|| {
+        let payload = Arc::new(AtomicU64::new(0));
+        let seq = Arc::new(AtomicU64::new(0));
+        let poster = {
+            let (payload, seq) = (Arc::clone(&payload), Arc::clone(&seq));
+            thread::spawn(move || {
+                seq.fetch_add(1, Ordering::Release); // mis-ordered: bump first
+                payload.store(ABORT, Ordering::Relaxed);
+            })
+        };
+        if seq.load(Ordering::Acquire) > 0 {
+            assert_eq!(
+                payload.load(Ordering::Relaxed),
+                ABORT,
+                "observed the seq bump but not the payload"
+            );
+        }
+        poster.join();
+    });
+    assert!(found, "the seq-first post must have a leaking schedule");
+}
+
+#[test]
+fn published_snapshots_are_exact_even_against_a_racing_reader() {
+    // `ShardCounters` publication (shard_server.rs): workers bump the
+    // live counters with relaxed adds, then `publish()` sets the flag
+    // (Release) as the very last act — the `PublishOnExit` drop guard.
+    // The watchdog polls `is_published()` (Acquire) and only trusts a
+    // snapshot as *exact* once the flag reads true. Model: any reader
+    // that sees the flag sees the final totals, and the cross-counter
+    // ledger (acked counted with sent) holds exactly at that point.
+    let stats = model(|| {
+        let sent = Arc::new(AtomicU64::new(0));
+        let acked = Arc::new(AtomicU64::new(0));
+        let published = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let (sent, acked, published) =
+                (Arc::clone(&sent), Arc::clone(&acked), Arc::clone(&published));
+            thread::spawn(move || {
+                for _ in 0..2 {
+                    sent.fetch_add(1, Ordering::Relaxed);
+                    acked.fetch_add(1, Ordering::Relaxed);
+                }
+                published.store(true, Ordering::Release);
+            })
+        };
+        let s = sent.load(Ordering::Relaxed);
+        if published.load(Ordering::Acquire) {
+            assert_eq!(sent.load(Ordering::Relaxed), 2, "published but not final");
+            assert_eq!(acked.load(Ordering::Relaxed), 2, "published but not final");
+        } else {
+            // Pre-publication snapshots are monotone underestimates.
+            assert!(s <= 2);
+        }
+        worker.join();
+        assert!(published.load(Ordering::Acquire), "drop guard must publish");
+    });
+    assert!(!stats.truncated, "publish handshake must be explored exhaustively");
+}
+
+#[test]
+fn unpublished_snapshots_can_tear_across_counters() {
+    // The counter-example that justifies the publication flag: without
+    // gating on `is_published()`, a reader sampling two related counters
+    // mid-run can catch the worker between the paired bumps and see a
+    // ledger that never existed (acked != sent at a quiescent point).
+    // This is why `LoadReport` is only assembled after `all_published()`.
+    let found = exists_failing(|| {
+        let sent = Arc::new(AtomicU64::new(0));
+        let acked = Arc::new(AtomicU64::new(0));
+        let worker = {
+            let (sent, acked) = (Arc::clone(&sent), Arc::clone(&acked));
+            thread::spawn(move || {
+                for _ in 0..2 {
+                    sent.fetch_add(1, Ordering::Relaxed);
+                    acked.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        let s = sent.load(Ordering::Relaxed);
+        let a = acked.load(Ordering::Relaxed);
+        assert_eq!(s, a, "unpublished snapshot tore: sent={s} acked={a}");
+        worker.join();
+    });
+    assert!(found, "the flagless snapshot must have a tearing schedule");
+}
+
+#[test]
 fn receiver_shutdown_handshake_terminates_with_consistent_totals() {
     // `ReceiverHandle::stop` / the receiver loop in receiver.rs: the
     // loop polls `stop` once per datagram and bumps `received` and

@@ -95,6 +95,43 @@ jq -e '
   || { echo "BENCH_3.json: W=4 wall speedup below 2x vs W=1 at N>=10k on a >=4-core record"; \
        jq '{cores, sweep: [.sweep[] | select(.flows >= 10000)]}' BENCH_3.json; exit 1; }
 
+# Loadtest smoke: the sharded transport plane (thread-per-core UDP
+# server, batched syscall I/O) on a 1k-flow crowd through the identical
+# two-leg pipeline as the committed BENCH_4.json. The binary itself
+# asserts the exact packet ledger, zero stuck sessions, cross-backend
+# digest equality, and (when the batched leg runs mmsg) the >= 8x
+# syscalls-per-packet ratio. Two smoke runs must agree byte-for-byte on
+# the deterministic core — `measured` holds the wall-clock/syscall
+# readings that legitimately vary and is excluded. jq then gates the
+# schema on both the smoke record and the committed artifact; the
+# epoch-timer p99 jitter budget applies only to records measured on
+# >= 4 cores (same honesty rule as BENCH_3's speedup gate — on fewer
+# cores the figure measures the scheduler, not the timer plane).
+load_out="$(mktemp /tmp/bench_loadtest.XXXXXX.json)"
+load_out2="$(mktemp /tmp/bench_loadtest.XXXXXX.json)"
+VERUS_BENCH_OUT="$load_out" cargo run --release -q -p verus-bench --bin bench_loadtest -- --smoke
+VERUS_BENCH_OUT="$load_out2" cargo run --release -q -p verus-bench --bin bench_loadtest -- --smoke > /dev/null
+diff <(jq -S 'del(.measured)' "$load_out") <(jq -S 'del(.measured)' "$load_out2") \
+  || { echo "loadtest smoke deterministic core is not byte-stable across same-seed runs"; exit 1; }
+load_jq='
+  .schema == "verus-bench-loadtest-v1"
+  and (.ledger.residual == 0) and (.ledger.stuck == 0)
+  and (.ledger.acked == .offered) and (.ledger.closed == .flows)
+  and .gates.ledger_exact and .gates.digests_match_across_backends
+  and (.gates.syscall_ratio_enforced == (.io_backend == "mmsg"))
+  and (if .gates.syscall_ratio_enforced
+       then .measured.syscall_ratio >= .syscall_ratio_floor else true end)
+  and (.gates.jitter_enforced == (.cores >= 4))
+  and (if .gates.jitter_enforced
+       then .measured.batched.jitter_p99_ms <= .jitter_budget_ms else true end)
+  and (.measured.baseline.syscalls > 0) and (.measured.batched.syscalls > 0)
+'
+jq -e "$load_jq and .smoke" "$load_out" > /dev/null \
+  || { echo "loadtest smoke emitted a malformed record or missed a gate:"; cat "$load_out"; exit 1; }
+jq -e "$load_jq and (.smoke | not) and (.flows >= 100000)" BENCH_4.json > /dev/null \
+  || { echo "committed BENCH_4.json malformed or below acceptance"; exit 1; }
+rm -f "$load_out" "$load_out2"
+
 # Scheduler equivalence under the alternate feature build: tier-1 runs
 # the suite on the default wheel build; this repeats it with the
 # BinaryHeap oracle as the build default so the sharded engine's
